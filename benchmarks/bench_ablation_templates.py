@@ -1,0 +1,44 @@
+"""Ablation — template paraphrase sensitivity (paper Section 2.2).
+
+The paper reports that slight paraphrases ("a kind of", "a sort of";
+"suitable", "proper") did not change the results and publishes the
+variant runs in its repository.  This bench re-runs one model over the
+three True/False variants and asserts the spread stays small.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.runner import EvaluationRunner
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.pools import default_pools
+
+
+def test_template_variants_are_equivalent(benchmark, report, config):
+    pool = default_pools(
+        "google", sample_size=config.sample_size).total_pool(
+        DatasetKind.HARD)
+    model = get_model("GPT-4")
+
+    def run():
+        rows = []
+        for variant, wording in enumerate(
+                ("a type of", "a kind of", "a sort of")):
+            runner = EvaluationRunner(variant=variant)
+            metrics = runner.evaluate(model, pool).metrics
+            rows.append({
+                "variant": wording,
+                "accuracy": round(metrics.accuracy, 3),
+                "miss_rate": round(metrics.miss_rate, 3),
+            })
+        return rows
+
+    rows = once(benchmark, run)
+    accuracies = [row["accuracy"] for row in rows]
+    assert max(accuracies) - min(accuracies) < 0.05
+    report(format_rows(
+        rows, title="Ablation: template paraphrase variants (GPT-4, "
+        "Google, hard)"))

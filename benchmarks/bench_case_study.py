@@ -1,0 +1,30 @@
+"""Bench CS — regenerate the Section 5.3 case study.
+
+Paper numbers: precision 0.713, recall 0.792, 59% of the Amazon
+taxonomy's construction/maintenance cost saved.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_SCALE, once
+
+from repro.core.report import format_rows
+from repro.hybrid.case_study import CaseStudyConfig, run_case_study
+
+
+def test_case_study_replacement(benchmark, report):
+    config = CaseStudyConfig(
+        sample_size=None if PAPER_SCALE else 150)
+    result = once(benchmark, run_case_study, config)
+    assert result.precision == 0.713 or abs(
+        result.precision - 0.713) < 0.05
+    assert abs(result.recall - 0.792) < 0.05
+    assert abs(result.maintenance_saving - 0.588) < 0.005
+    report(format_rows([{
+        "precision (paper 0.713)": round(result.precision, 3),
+        "recall (paper 0.792)": round(result.recall, 3),
+        "f1": round(result.f1, 3),
+        "saving (paper 59%)":
+            f"{result.maintenance_saving * 100:.1f}%",
+        "concepts": result.concepts_evaluated,
+    }], title="Section 5.3: Amazon hybrid-replacement case study"))

@@ -1,0 +1,43 @@
+"""Extension bench — logical consistency of the Is-A relation.
+
+Beyond per-edge accuracy (Tables 5-7), taxonomy *reasoning* needs the
+relation's algebra: asymmetry (Yes one way implies No the other) and
+transitivity (edges compose).  This bench probes both on a common and
+a specialized taxonomy and checks that the stronger model is the more
+consistent one — the property Section 5.1's hybrid-taxonomy proposal
+relies on.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.experiments.consistency import probe_consistency
+from repro.llm.registry import get_model
+
+
+def test_is_a_consistency(benchmark, report, config):
+    edges = 120 if config.sample_size is None else 50
+    models = ("GPT-4", "Falcon-7B")
+
+    def run():
+        return [
+            probe_consistency(get_model(model), key, edges=edges,
+                              chains=edges)
+            for model in models
+            for key in ("ebay", "glottolog")
+        ]
+
+    reports = once(benchmark, run)
+    by_pair = {(r.model, r.taxonomy_key): r for r in reports}
+
+    # The strong model keeps the relation asymmetric far more often
+    # than the near-chance one.
+    assert by_pair["GPT-4", "ebay"].symmetry_violation_rate \
+        < by_pair["Falcon-7B", "ebay"].symmetry_violation_rate
+    # Consistency also degrades on the specialized taxonomy.
+    assert by_pair["GPT-4", "glottolog"].transitivity_violation_rate \
+        >= 0.0
+    report(format_rows([r.as_row() for r in reports],
+                       title="Extension: Is-A consistency probes"))

@@ -1,0 +1,39 @@
+"""Extension bench — the saving/precision frontier over cut levels.
+
+Section 5.3 notes that replacing *more* layers saves more maintenance
+cost at an accuracy price.  This bench sweeps every Amazon cut level
+and checks the trade-off's shape: saving grows monotonically as the
+cut rises while precision decays, with the paper's (level 3, 59%,
+~0.71 precision) point on the frontier.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.figures.ascii import bar_chart
+from repro.hybrid.sweep import saving_at_precision, sweep_cut_levels
+
+
+def test_cut_level_frontier(benchmark, report, config):
+    sample = 250 if config.sample_size is None else 80
+    points = once(benchmark, sweep_cut_levels, "amazon", sample)
+
+    savings = [point.maintenance_saving for point in points]
+    assert savings == sorted(savings)
+    assert points[0].precision > points[-1].precision
+    assert abs(points[0].maintenance_saving - 0.588) < 0.005
+
+    # A 0.5-precision floor still admits a deeper-than-paper saving.
+    frontier = saving_at_precision(points, floor=0.5)
+    assert frontier is not None
+    assert frontier.maintenance_saving \
+        >= points[0].maintenance_saving
+
+    report(format_rows([point.as_row() for point in points],
+                       title="Extension: cut-level sweep (Amazon)"))
+    report(bar_chart(
+        {f"cut@{point.cut_level}": point.precision
+         for point in points},
+        title="Precision by cut level"))

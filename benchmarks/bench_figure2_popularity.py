@@ -1,0 +1,25 @@
+"""Bench F2 — regenerate Figure 2 (taxonomy popularity)."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.experiments.popularity import (common_beat_specialized,
+                                          figure2_rows)
+from repro.figures.ascii import bar_chart
+
+
+def test_figure2_popularity(benchmark, report):
+    rows = once(benchmark, figure2_rows)
+    assert len(rows) == 10
+    # The paper's headline: the four common taxonomies out-rank all
+    # six specialized ones.
+    assert [row["group"] for row in rows[:4]] == ["common"] * 4
+    assert common_beat_specialized()
+    report(format_rows(
+        rows, title="Figure 2: popularity (mean simulated web hits)"))
+    report(bar_chart(
+        {row["taxonomy"]: float(row["mean_hits"]) for row in rows},
+        log_scale=True,
+        title="Figure 2 (log-scale bars)"))

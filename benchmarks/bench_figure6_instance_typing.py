@@ -1,0 +1,41 @@
+"""Bench F6 — regenerate Figure 6 (instance typing per level)."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import run_instance_typing
+from repro.questions.instance_typing import INSTANCE_TYPING_KEYS
+
+
+def test_figure6_instance_typing(benchmark, report, config):
+    typing_config = ExperimentConfig(
+        sample_size=config.sample_size,
+        models=tuple(m for m in config.models
+                     if m in ("GPT-4", "Llama-3-8B", "Flan-T5-11B",
+                              "LLMs4OL", "GPT-3.5"))
+        or ("GPT-4",),
+        taxonomy_keys=tuple(k for k in config.taxonomy_keys
+                            if k in INSTANCE_TYPING_KEYS))
+    series = once(benchmark, run_instance_typing, typing_config)
+    assert series
+
+    # Root-to-leaf decline except the name-overlapping OAE/NCBI tails.
+    declining = [s for s in series
+                 if s.taxonomy_key in ("google", "amazon", "glottolog",
+                                       "icd10cm")]
+    if declining:
+        assert sum(1 for s in declining if s.declines_overall) \
+            / len(declining) > 0.5
+
+    rows = [{
+        "model": s.model,
+        "taxonomy": s.taxonomy_key,
+        "target level": level,
+        "accuracy": round(accuracy, 3),
+    } for s in series
+        for level, accuracy in zip(s.target_levels, s.accuracies)]
+    report(format_rows(
+        rows, title="Figure 6: instance typing (hard datasets)"))

@@ -1,0 +1,44 @@
+"""Bench F7 — regenerate Figure 7 (scalability of model series).
+
+Also measures the harness's own throughput on a simulated backend,
+which is this reproduction's analogue of "average time costs during
+inference" — real endpoints simply swap in behind the same interface.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.runner import EvaluationRunner
+from repro.experiments.scalability import (efficiency_summary,
+                                           figure7_rows,
+                                           well_scaling_series)
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.pools import default_pools
+
+
+def test_figure7_cost_model(benchmark, report):
+    rows = once(benchmark, figure7_rows)
+    assert len(rows) == 14
+    good = well_scaling_series()
+    # Paper: "Flan-T5s, Vicunas, and Llama-3s present relatively good
+    # scalability"; Falcon-40B does not.
+    assert {"Flan-T5s", "Vicunas", "Llama-3s"} <= set(good)
+    assert "Falcons" not in good
+    rows.append({"series": "(exponent)", "model": "", "params_b": "",
+                 "gpu_ram_gb": "",
+                 "sec_per_question": str(efficiency_summary())})
+    report(format_rows(
+        rows, title="Figure 7: scalability of model series"))
+
+
+def test_harness_throughput(benchmark):
+    """Questions per second through the full prompt->parse loop."""
+    pool = default_pools("ebay", sample_size=40).total_pool(
+        DatasetKind.HARD)
+    runner = EvaluationRunner()
+    model = get_model("GPT-4")
+    result = benchmark(runner.evaluate, model, pool)
+    assert result.metrics.n == len(pool)

@@ -1,0 +1,34 @@
+"""Extension bench — entity search: the paper's motivating application.
+
+The introduction motivates taxonomies with entity search ("best health
+tracker").  This bench compares three routing strategies end to end
+and checks the who-wins shape: the explicit tree is near-perfect, a
+raw LLM scan over the corpus collapses in precision, and the
+Section 5.1 hybrid lands in between — quantifying what "replacing the
+taxonomy" costs at the application level.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.search.evaluation import evaluate_search
+
+
+def test_search_strategy_comparison(benchmark, report, config):
+    queries = 150 if config.sample_size is None else 60
+    scores = once(benchmark, evaluate_search, "ebay", queries)
+    by_name = {score.strategy: score for score in scores}
+
+    assert by_name["tree"].precision > 0.95
+    assert by_name["llm-only"].precision < 0.1
+    assert by_name["tree"].precision \
+        > by_name["hybrid"].precision \
+        > by_name["llm-only"].precision
+    assert by_name["hybrid"].recall > by_name["hybrid"].precision - 0.2
+
+    report(format_rows(
+        [score.as_row() for score in scores],
+        title="Extension: entity search — tree vs LLM-only vs hybrid "
+        "(eBay corpus)"))

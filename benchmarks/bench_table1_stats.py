@@ -1,0 +1,19 @@
+"""Bench T1 — regenerate Table 1 (taxonomy statistics)."""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.experiments.statistics import table1_rows
+
+
+def test_table1_statistics(benchmark, report):
+    rows = once(benchmark, table1_rows)
+    assert len(rows) == 10
+    by_name = {row["taxonomy"]: row for row in rows}
+    # Spec columns reproduce the paper exactly.
+    assert by_name["Amazon"]["entities (paper)"] == 43814
+    assert by_name["NCBI"]["widths (paper)"] \
+        == "53-309-514-1859-10215-107615-2069560"
+    report(format_rows(rows, title="Table 1: Statistics of taxonomies"))

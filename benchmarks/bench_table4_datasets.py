@@ -1,0 +1,29 @@
+"""Bench T4 — regenerate Table 4 (question dataset statistics)."""
+
+from __future__ import annotations
+
+from conftest import PAPER_SCALE, once
+
+from repro.core.report import format_rows
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import table4_rows
+
+
+def test_table4_dataset_statistics(benchmark, report, config):
+    rows = once(benchmark, table4_rows, config)
+    totals = {row["taxonomy"]: row for row in rows
+              if row["level"] == "total"}
+    assert set(totals) == set(config.taxonomy_keys)
+    if PAPER_SCALE:
+        # At paper scale the easy/MCQ counts reproduce Table 4.
+        assert totals["glottolog"]["easy"] == 2980
+        assert totals["glottolog"]["mcq"] == 1490
+    report(format_rows(rows, title="Table 4: Statistics of datasets"))
+
+
+def test_table4_glottolog_at_paper_scale(benchmark, report):
+    """Always-on paper-scale check for one taxonomy (fast enough)."""
+    rows = once(benchmark, table4_rows,
+                ExperimentConfig(taxonomy_keys=("glottolog",)))
+    easy = [row["easy"] for row in rows if row["level"] != "total"]
+    assert easy == [500, 564, 584, 600, 732]

@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Every paper table/figure has one bench module.  By default benches run
+at a reduced scale (smaller per-level samples, a representative model
+subset) so the whole suite finishes in minutes; set
+``REPRO_BENCH_SCALE=paper`` to run the full Cochran-sized pools with
+all eighteen models, which regenerates the tables at the paper's exact
+question counts.
+
+Benches execute their workload once (``rounds=1``) — the interesting
+output is the regenerated table, printed via the ``report`` fixture
+(run pytest with ``-s`` to see them), not a latency distribution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.experiments.config import ExperimentConfig
+
+#: Representative subset: the strongest API model, a mid open model,
+#: the abstainer, both Flan-T5 sizes and the domain-tuned model.
+FAST_MODELS = ("GPT-4", "Llama-2-7B", "Llama-3-8B", "Flan-T5-3B",
+               "Flan-T5-11B", "LLMs4OL")
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "fast") == "paper"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    if PAPER_SCALE:
+        return ExperimentConfig()
+    return ExperimentConfig(sample_size=60, models=FAST_MODELS)
+
+
+@pytest.fixture(scope="session")
+def bench_harness(config) -> TaxoGlimpse:
+    """One facade shared by all benches (pools are cached inside)."""
+    return TaxoGlimpse(sample_size=config.sample_size)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a regenerated table without fighting pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

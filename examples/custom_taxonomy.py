@@ -1,0 +1,94 @@
+"""Benchmark LLMs against *your own* taxonomy.
+
+TaxoGlimpse is not tied to the ten paper taxonomies: build any
+hierarchy with TaxonomyBuilder (or load one with
+repro.taxonomy.load_edge_tsv), generate question pools, and evaluate
+any ChatModel — a calibrated simulator bound to your taxonomy through
+a custom oracle, or your own API client.
+
+    python examples/custom_taxonomy.py
+"""
+
+from __future__ import annotations
+
+from repro import (DatasetKind, Domain, EvaluationRunner,
+                   TaxonomyBuilder, TaxonomyOracle, build_pools)
+from repro.llm.registry import make_model
+
+
+class KeywordModel:
+    """A hand-rolled ChatModel: any object with .name/.generate works.
+
+    Swap in an OpenAI/Anthropic client here and the whole harness runs
+    against the real endpoint.
+    """
+
+    name = "keyword-baseline"
+
+    def generate(self, prompt: str) -> str:
+        # Answers Yes whenever the two concepts share a word.  The
+        # GENERAL-domain template wraps names as "<name> entity type".
+        import re
+        names = re.findall(r"Is (.+?) entity type a (?:type|kind|sort)"
+                           r" of (.+?) entity type\?", prompt)
+        if not names:
+            return "I don't know."
+        child, parent = names[0]
+        shared = set(child.lower().split()) \
+            & set(parent.lower().split())
+        return "Yes." if shared else "No."
+
+
+def build_coffee_taxonomy():
+    builder = TaxonomyBuilder("Coffee", Domain.GENERAL,
+                              concept_noun="coffee drink")
+    espresso = builder.add_root("Espresso Drinks")
+    filtered = builder.add_root("Filter Drinks")
+    cold = builder.add_root("Cold Drinks")
+    milk = builder.add_child(espresso, "Milk Espresso Drinks")
+    straight = builder.add_child(espresso, "Straight Espresso Shots")
+    pour = builder.add_child(filtered, "Pour Over Brews")
+    immersion = builder.add_child(filtered, "Immersion Brews")
+    iced = builder.add_child(cold, "Iced Drinks")
+    brew = builder.add_child(cold, "Cold Brews")
+    for parent, names in [
+        (milk, ["Latte", "Cappuccino", "Flat White", "Cortado"]),
+        (straight, ["Ristretto", "Lungo", "Doppio"]),
+        (pour, ["V60 Brew", "Chemex Brew", "Kalita Brew"]),
+        (immersion, ["French Press Brew", "Clever Dripper Brew"]),
+        (iced, ["Iced Latte", "Iced Americano"]),
+        (brew, ["Nitro Cold Brew", "Slow Drip Cold Brew"]),
+    ]:
+        for name in names:
+            builder.add_child(parent, name)
+    return builder.build()
+
+
+def main() -> None:
+    taxonomy = build_coffee_taxonomy()
+    print(f"Built {taxonomy}")
+
+    pools = build_pools("coffee", taxonomy, sample_size=10)
+    runner = EvaluationRunner()
+
+    # A calibrated simulator grounded in *this* taxonomy: the custom
+    # oracle is its "pre-training knowledge".
+    oracle = TaxonomyOracle({"coffee": taxonomy})
+    simulated = make_model("GPT-4", oracle)
+
+    for model in (simulated, KeywordModel()):
+        for dataset in (DatasetKind.EASY, DatasetKind.HARD):
+            result = runner.evaluate(model,
+                                     pools.total_pool(dataset))
+            print(f"  {model.name:<17} {dataset.value:<5} "
+                  f"accuracy={result.metrics.accuracy:.3f} "
+                  f"miss={result.metrics.miss_rate:.3f} "
+                  f"(n={result.metrics.n})")
+    print()
+    print("The keyword baseline beats chance only because some drink "
+          "names share\nwords with their category — the same "
+          "surface-form effect the paper found\non NCBI species names.")
+
+
+if __name__ == "__main__":
+    main()

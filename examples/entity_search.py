@@ -1,0 +1,51 @@
+"""Entity search with and without the taxonomy (intro's application).
+
+Compares three ways to serve shopping queries ("best health tracker"):
+the traditional category tree, a bare LLM scanning the product corpus,
+and the paper's hybrid form (explicit tree near the root, LLM below).
+
+    python examples/entity_search.py
+"""
+
+from __future__ import annotations
+
+from repro import build_taxonomy
+from repro.search import (HybridRouter, LlmRouter, ProductCorpus,
+                          TreeRouter, evaluate_search)
+
+
+def main() -> None:
+    taxonomy = build_taxonomy("ebay")
+    corpus = ProductCorpus(taxonomy)
+    leaf = corpus.category_nodes()[11]
+    query = f"best {leaf.name.lower()}"
+    print(f"Query: {query!r}  (ground truth category: {leaf.name})")
+    print()
+
+    tree = TreeRouter(corpus).search(query)
+    print(f"tree     -> routed to {tree.routed_to!r}, "
+          f"{len(tree.products)} products")
+    hybrid = HybridRouter(corpus, cut_level=1).search(
+        query, truth_node_id=leaf.node_id)
+    print(f"hybrid   -> routed to {hybrid.routed_to!r}, "
+          f"{len(hybrid.products)} products")
+    llm = LlmRouter(corpus).search(query, truth_node_id=leaf.node_id)
+    print(f"llm-only -> scanned the whole corpus, "
+          f"{len(llm.products)} products returned")
+    print()
+
+    print("Scored over 60 synthetic queries:")
+    print(f"{'strategy':<10} {'precision':>10} {'recall':>8} "
+          f"{'routing':>9}")
+    for score in evaluate_search("ebay", queries=60):
+        print(f"{score.strategy:<10} {score.precision:>10.3f} "
+              f"{score.recall:>8.3f} {score.routing_accuracy:>9.3f}")
+    print()
+    print("The explicit tree wins outright; a bare LLM drowns in "
+          "false positives;\nthe hybrid trades precision for not "
+          "maintaining the deep levels —\nthe paper's Section 5 "
+          "conclusion, measured at the application level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Compare model families on common vs specialized taxonomies.
+
+Reproduces the paper's Section 4.3 analysis in miniature: does more
+parameters help?  Does fine-tuning help?  Which kind?
+
+    python examples/model_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import DatasetKind, TaxoGlimpse
+from repro.experiments.analysis import (domain_gaps, size_scaling_steps,
+                                        tuning_effect)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.overall import run_overall
+from repro.llm.registry import SERIES
+
+MODELS = ("Llama-2-7B", "Llama-2-13B", "Llama-2-70B",
+          "Vicuna-7B", "Vicuna-13B",
+          "Flan-T5-3B", "Flan-T5-11B", "LLMs4OL",
+          "Falcon-7B", "Falcon-40B")
+TAXONOMIES = ("ebay", "google", "schema", "glottolog", "ncbi")
+
+
+def main() -> None:
+    bench = TaxoGlimpse(sample_size=60)
+    config = ExperimentConfig(sample_size=60, models=MODELS,
+                              taxonomy_keys=TAXONOMIES)
+    matrix = run_overall(DatasetKind.HARD, config, bench=bench).matrix()
+
+    print("Common-vs-specialized gap (hard datasets, zero-shot):")
+    for gap in domain_gaps(matrix):
+        print(f"  {gap.model:<13} common={gap.common_accuracy:.3f}  "
+              f"specialized={gap.specialized_accuracy:.3f}  "
+              f"gap={gap.gap:+.3f}")
+    print()
+
+    print("Does scaling up help?  (adjacent sizes within a series)")
+    for step in size_scaling_steps(matrix, SERIES):
+        verdict = "yes" if step.improves else "NO"
+        print(f"  {step.series:<10} {step.smaller} "
+              f"({step.smaller_accuracy:.3f}) -> {step.larger} "
+              f"({step.larger_accuracy:.3f})  helps: {verdict}")
+    print()
+
+    agnostic = tuning_effect(matrix, "Vicuna-13B", "Llama-2-13B")
+    specific = tuning_effect(matrix, "LLMs4OL", "Flan-T5-3B")
+    print("Does fine-tuning help?")
+    print(f"  domain-agnostic (Vicuna-13B over Llama-2-13B): "
+          f"{agnostic.uplift:+.3f}")
+    print(f"  domain-specific (LLMs4OL over Flan-T5-3B):     "
+          f"{specific.uplift:+.3f}")
+    print()
+    print("Paper Finding 3: size and domain-agnostic tuning are "
+          "unreliable;\ndomain-specific instruction tuning gives a "
+          "stable, significant uplift.")
+
+
+if __name__ == "__main__":
+    main()

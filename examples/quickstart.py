@@ -1,0 +1,46 @@
+"""Quickstart: evaluate an LLM's grasp of a taxonomy in ~20 lines.
+
+Runs the TaxoGlimpse pipeline end to end on the eBay taxonomy: build
+the question pools, probe a model, score accuracy and miss rate —
+exactly what the paper's Tables 5-7 do, scaled down to run in seconds.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DatasetKind, TaxoGlimpse, get_model, render_question
+
+def main() -> None:
+    # Smaller per-level samples than the paper's Cochran sizes, so the
+    # example runs in seconds.  Drop sample_size for paper scale.
+    bench = TaxoGlimpse(sample_size=50)
+
+    # Peek at what the benchmark actually asks (Table 2 template).
+    pool = bench.pools("ebay").total_pool(DatasetKind.HARD)
+    question = pool.questions[0]
+    model = get_model("GPT-4")
+    prompt = render_question(question)
+    print("Example prompt:   ", prompt)
+    print("Model response:   ", model.generate(prompt))
+    print("Expected answer:  ", question.expected_answer.value)
+    print()
+
+    # Score three models on two taxonomies, hard datasets.
+    print(f"{'model':<14} {'taxonomy':<10} {'accuracy':>9} "
+          f"{'miss rate':>10}")
+    for model_name in ("GPT-4", "Llama-2-7B", "LLMs4OL"):
+        for taxonomy_key in ("ebay", "ncbi"):
+            result = bench.run(model_name, taxonomy_key,
+                               DatasetKind.HARD)
+            print(f"{model_name:<14} {taxonomy_key:<10} "
+                  f"{result.metrics.accuracy:>9.3f} "
+                  f"{result.metrics.miss_rate:>10.3f}")
+    print()
+    print("Note the paper's headline shape: strong on the common "
+          "shopping taxonomy,\nmuch weaker on the specialized NCBI "
+          "taxonomy.")
+
+
+if __name__ == "__main__":
+    main()

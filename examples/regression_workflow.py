@@ -1,0 +1,66 @@
+"""Archive a benchmark run and diff it against a later one.
+
+Teams tracking "is our model / prompt / parser change safe?" need the
+benchmark to be a regression harness, not a one-off script: run the
+matrix, save it to JSON, rerun after a change, and diff.  Here the
+"change" is switching GPT-4's prompting to Chain-of-Thoughts — which
+Finding 4 says should barely move it — versus switching Llama-2-7B to
+few-shot, which moves it a lot.
+
+    python examples/regression_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DatasetKind, PromptSetting, TaxoGlimpse
+from repro.core.export import diff_matrices, load_matrix, save_matrix
+
+TAXONOMIES = ("ebay", "google", "glottolog")
+MODELS = ("GPT-4", "Llama-2-7B")
+
+
+def run_matrix(bench, setting):
+    matrix = {}
+    for model in MODELS:
+        for key in TAXONOMIES:
+            result = bench.run(model, key, DatasetKind.HARD,
+                               setting=setting)
+            matrix[model, key] = result.metrics
+    return matrix
+
+
+def main() -> None:
+    bench = TaxoGlimpse(sample_size=60)
+
+    baseline = run_matrix(bench, PromptSetting.ZERO_SHOT)
+    archive = Path(tempfile.mkdtemp()) / "baseline.json"
+    save_matrix(baseline, archive, label="zero-shot baseline")
+    print(f"Archived baseline run to {archive}")
+
+    candidate = {}
+    candidate.update({("GPT-4", key): bench.run(
+        "GPT-4", key, DatasetKind.HARD,
+        setting=PromptSetting.COT).metrics for key in TAXONOMIES})
+    candidate.update({("Llama-2-7B", key): bench.run(
+        "Llama-2-7B", key, DatasetKind.HARD,
+        setting=PromptSetting.FEW_SHOT).metrics
+        for key in TAXONOMIES})
+
+    drifts = diff_matrices(load_matrix(archive), candidate,
+                           tolerance=0.05)
+    print(f"\nCells moving more than 5 points: {len(drifts)}")
+    for drift in drifts:
+        print(f"  {drift.model:<11} {drift.taxonomy:<10} "
+              f"{drift.accuracy_before:.3f} -> "
+              f"{drift.accuracy_after:.3f}  ({drift.delta:+.3f})")
+    print()
+    print("As Finding 4 predicts: CoT leaves GPT-4 in place, while "
+          "few-shot\nprompting rescues Llama-2-7B from abstention — "
+          "only its cells drift.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept as a setup.py (rather than PEP 517 metadata only) so that
+``pip install -e .`` works in offline environments without the
+``wheel`` package: pip falls back to the legacy ``setup.py develop``
+path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("TaxoGlimpse reproduction: benchmarking LLMs as "
+                 "taxonomy replacements (VLDB 2024)"),
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,99 @@
+"""TaxoGlimpse reproduction — are LLMs a good replacement of taxonomies?
+
+Reproduces the VLDB 2024 benchmark study end to end: ten synthetic
+taxonomies matching the paper's shapes, the True/False + MCQ question
+design, eighteen calibrated simulated LLMs behind a real chat-model
+interface, the evaluation harness, and every table/figure experiment.
+
+Quickstart:
+
+    >>> from repro import TaxoGlimpse, DatasetKind
+    >>> bench = TaxoGlimpse(sample_size=40)
+    >>> result = bench.run("GPT-4", "ebay", DatasetKind.HARD)
+    >>> result.metrics.accuracy > 0.8
+    True
+"""
+
+from repro.core import (EvaluationRunner, Metrics, PoolResult,
+                        QuestionRecord, RetrievalMetrics, TaxoGlimpse,
+                        TAXONOMY_LABELS)
+from repro.errors import (CalibrationError, ExperimentError, ModelError,
+                          PromptError, QuestionGenerationError,
+                          ReproError, TaxonomyError, UnknownModelError,
+                          UnknownNodeError, ValidationError)
+from repro.generators import (ALL_SPECS, TAXONOMY_KEYS, build_all,
+                              build_taxonomy, get_spec)
+from repro.hybrid import (CaseStudyConfig, CaseStudyResult,
+                          HybridTaxonomy, MembershipModel,
+                          run_case_study)
+from repro.llm import (MODEL_NAMES, ChatModel, PromptSetting,
+                       SimulatedLLM, TaxonomyOracle, all_models,
+                       get_model, get_profile, surface_baseline)
+from repro.questions import (Answer, DatasetKind, Question,
+                             QuestionKind, QuestionPool, QuestionType,
+                             TaxonomyPools, build_pools,
+                             render_question)
+from repro.taxonomy import (Domain, Taxonomy, TaxonomyBuilder,
+                            TaxonomyNode, compute_statistics)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # facade
+    "TaxoGlimpse",
+    "TAXONOMY_LABELS",
+    "EvaluationRunner",
+    "Metrics",
+    "RetrievalMetrics",
+    "PoolResult",
+    "QuestionRecord",
+    # taxonomy
+    "Domain",
+    "Taxonomy",
+    "TaxonomyBuilder",
+    "TaxonomyNode",
+    "compute_statistics",
+    "TAXONOMY_KEYS",
+    "ALL_SPECS",
+    "build_taxonomy",
+    "build_all",
+    "get_spec",
+    # questions
+    "Question",
+    "QuestionKind",
+    "QuestionType",
+    "QuestionPool",
+    "TaxonomyPools",
+    "DatasetKind",
+    "Answer",
+    "build_pools",
+    "render_question",
+    # llm
+    "ChatModel",
+    "SimulatedLLM",
+    "TaxonomyOracle",
+    "PromptSetting",
+    "MODEL_NAMES",
+    "get_model",
+    "get_profile",
+    "all_models",
+    "surface_baseline",
+    # hybrid
+    "HybridTaxonomy",
+    "MembershipModel",
+    "CaseStudyConfig",
+    "CaseStudyResult",
+    "run_case_study",
+    # errors
+    "ReproError",
+    "TaxonomyError",
+    "UnknownNodeError",
+    "ValidationError",
+    "QuestionGenerationError",
+    "PromptError",
+    "ModelError",
+    "UnknownModelError",
+    "ExperimentError",
+    "CalibrationError",
+]

@@ -1,0 +1,244 @@
+"""Command-line interface for the TaxoGlimpse reproduction.
+
+    python -m repro stats
+    python -m repro datasets --taxonomies glottolog
+    python -m repro table --dataset hard --models GPT-4 LLMs4OL \\
+        --taxonomies ebay ncbi --sample 60
+    python -m repro levels --taxonomies ncbi --models GPT-4 --sample 80
+    python -m repro ask GPT-4 "Is Sinitic language a type of \\
+        Sino-Tibetan language? answer with (Yes/No/I don't know)"
+    python -m repro case-study --sample 150
+    python -m repro popularity
+    python -m repro scalability
+
+Every command prints the same rows the corresponding paper artifact
+reports; ``--sample`` trades fidelity for speed (omit for Cochran
+paper-scale sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.core.report import format_rows
+from repro.data.paper_tables import MODEL_ORDER, TAXONOMY_ORDER
+from repro.data.paper_figures import SCALABILITY
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.consistency import probe_consistency
+from repro.experiments.errors_analysis import error_breakdown
+from repro.experiments.levels import run_levels
+from repro.llm.deployment import plan_deployment
+from repro.experiments.overall import run_overall
+from repro.experiments.popularity import figure2_rows
+from repro.experiments.scalability import (efficiency_summary,
+                                           figure7_rows)
+from repro.experiments.statistics import table1_rows
+from repro.hybrid.case_study import CaseStudyConfig, run_case_study
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.pools import build_pools
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TaxoGlimpse reproduction: benchmark LLMs on "
+                    "taxonomies (VLDB 2024)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="Table 1 taxonomy statistics")
+
+    datasets = commands.add_parser(
+        "datasets", help="Table 4 question-dataset statistics")
+    _add_scope(datasets, models=False)
+
+    table = commands.add_parser(
+        "table", help="Tables 5-7 overall results matrix")
+    table.add_argument("--dataset", choices=["hard", "easy", "mcq"],
+                       default="hard")
+    _add_scope(table)
+
+    levels = commands.add_parser(
+        "levels", help="Figure 3 per-level accuracy (hard)")
+    _add_scope(levels)
+
+    ask = commands.add_parser(
+        "ask", help="send one prompt to a simulated model")
+    ask.add_argument("model", choices=list(MODEL_ORDER))
+    ask.add_argument("prompt")
+
+    case = commands.add_parser(
+        "case-study", help="Section 5.3 Amazon replacement study")
+    case.add_argument("--sample", type=int, default=None)
+
+    commands.add_parser("popularity",
+                        help="Figure 2 popularity ranking")
+    commands.add_parser("scalability",
+                        help="Figure 7 cost table")
+
+    consistency = commands.add_parser(
+        "consistency", help="Is-A asymmetry/transitivity probes")
+    consistency.add_argument("--models", nargs="+", default=["GPT-4"],
+                             choices=list(MODEL_ORDER),
+                             metavar="MODEL")
+    consistency.add_argument("--taxonomies", nargs="+",
+                             default=["ebay"],
+                             choices=list(TAXONOMY_ORDER),
+                             metavar="TAXONOMY")
+    consistency.add_argument("--edges", type=int, default=60)
+
+    deploy = commands.add_parser(
+        "deploy", help="plan open-source models onto the paper's "
+                       "GPU testbed")
+    deploy.add_argument("--models", nargs="+",
+                        default=list(SCALABILITY),
+                        choices=list(SCALABILITY), metavar="MODEL")
+
+    errors = commands.add_parser(
+        "errors", help="error breakdown for one model/taxonomy cell")
+    errors.add_argument("--model", default="GPT-4",
+                        choices=list(MODEL_ORDER))
+    errors.add_argument("--taxonomy", default="ebay",
+                        choices=list(TAXONOMY_ORDER))
+    errors.add_argument("--dataset", choices=["hard", "easy", "mcq"],
+                        default="hard")
+    errors.add_argument("--sample", type=int, default=None)
+    return parser
+
+
+def _add_scope(command: argparse.ArgumentParser,
+               models: bool = True) -> None:
+    if models:
+        command.add_argument("--models", nargs="+",
+                             default=list(MODEL_ORDER),
+                             choices=list(MODEL_ORDER),
+                             metavar="MODEL")
+    command.add_argument("--taxonomies", nargs="+",
+                         default=list(TAXONOMY_ORDER),
+                         choices=list(TAXONOMY_ORDER),
+                         metavar="TAXONOMY")
+    command.add_argument("--sample", type=int, default=None,
+                         help="per-level sample size (default: paper "
+                              "Cochran sizes)")
+
+
+def _cmd_stats(_: argparse.Namespace) -> str:
+    return format_rows(table1_rows(),
+                       title="Table 1: Statistics of taxonomies")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> str:
+    rows = []
+    for key in args.taxonomies:
+        pools = build_pools(key, sample_size=args.sample)
+        for row in pools.statistics():
+            rows.append({"taxonomy": key, **row})
+    return format_rows(rows, title="Table 4: Statistics of datasets")
+
+
+def _cmd_table(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(sample_size=args.sample,
+                              models=tuple(args.models),
+                              taxonomy_keys=tuple(args.taxonomies))
+    bench = TaxoGlimpse(sample_size=args.sample)
+    result = run_overall(DatasetKind(args.dataset), config, bench=bench)
+    title = (f"Overall results on {args.dataset} datasets "
+             f"(mean |dA| vs paper = "
+             f"{result.mean_abs_accuracy_delta:.3f})")
+    return bench.format_table(result.matrix(), title=title)
+
+
+def _cmd_levels(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(sample_size=args.sample,
+                              models=tuple(args.models),
+                              taxonomy_keys=tuple(args.taxonomies))
+    series = run_levels(config)
+    rows = [row for entry in series for row in entry.rows()]
+    return format_rows(rows, title="Accuracy per level (hard)")
+
+
+def _cmd_ask(args: argparse.Namespace) -> str:
+    return get_model(args.model).generate(args.prompt)
+
+
+def _cmd_case_study(args: argparse.Namespace) -> str:
+    result = run_case_study(CaseStudyConfig(sample_size=args.sample))
+    return format_rows([{
+        "precision (paper 0.713)": f"{result.precision:.3f}",
+        "recall (paper 0.792)": f"{result.recall:.3f}",
+        "saving (paper 59%)":
+            f"{result.maintenance_saving * 100:.1f}%",
+        "concepts": result.concepts_evaluated,
+    }], title="Section 5.3 case study")
+
+
+def _cmd_popularity(_: argparse.Namespace) -> str:
+    return format_rows(figure2_rows(),
+                       title="Figure 2: taxonomy popularity")
+
+
+def _cmd_scalability(_: argparse.Namespace) -> str:
+    rows = figure7_rows()
+    table = format_rows(rows, title="Figure 7: scalability")
+    return table + f"\nscaling exponents: {efficiency_summary()}"
+
+
+def _cmd_consistency(args: argparse.Namespace) -> str:
+    rows = []
+    for model_name in args.models:
+        model = get_model(model_name)
+        for key in args.taxonomies:
+            rows.append(probe_consistency(
+                model, key, edges=args.edges,
+                chains=args.edges).as_row())
+    return format_rows(rows, title="Is-A consistency probes")
+
+
+def _cmd_deploy(args: argparse.Namespace) -> str:
+    plan = plan_deployment(list(args.models))
+    table = format_rows(plan.as_rows(),
+                        title="Deployment plan (paper testbed)")
+    if not plan.feasible:
+        table += f"\nUNPLACED: {', '.join(plan.unplaced)}"
+    return table
+
+
+def _cmd_errors(args: argparse.Namespace) -> str:
+    from repro.core.runner import EvaluationRunner
+    pool = build_pools(
+        args.taxonomy,
+        sample_size=args.sample).total_pool(DatasetKind(args.dataset))
+    runner = EvaluationRunner(keep_records=True)
+    result = runner.evaluate(get_model(args.model), pool)
+    breakdown = error_breakdown(pool.questions, result.records)
+    return format_rows(
+        [breakdown.as_row()],
+        title=f"Error breakdown: {args.model} on {args.taxonomy} "
+              f"({args.dataset})")
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "datasets": _cmd_datasets,
+    "table": _cmd_table,
+    "levels": _cmd_levels,
+    "ask": _cmd_ask,
+    "case-study": _cmd_case_study,
+    "popularity": _cmd_popularity,
+    "scalability": _cmd_scalability,
+    "consistency": _cmd_consistency,
+    "deploy": _cmd_deploy,
+    "errors": _cmd_errors,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Evaluation core: metrics, runner, results, reports, facade."""
+
+from repro.core.benchmark import TAXONOMY_LABELS, TaxoGlimpse
+from repro.core.export import (CellDrift, diff_matrices, load_matrix,
+                              matrix_from_payload, matrix_to_payload,
+                              pool_result_to_payload, save_matrix)
+from repro.core.metrics import (Metrics, RetrievalMetrics, combine,
+                                retrieval_metrics, summarize)
+from repro.core.report import format_matrix, format_rows, matrix_to_csv
+from repro.core.results import (PoolResult, QuestionRecord,
+                                metrics_from_records)
+from repro.core.runner import EvaluationRunner
+
+__all__ = [
+    "TaxoGlimpse",
+    "CellDrift",
+    "diff_matrices",
+    "save_matrix",
+    "load_matrix",
+    "matrix_to_payload",
+    "matrix_from_payload",
+    "pool_result_to_payload",
+    "TAXONOMY_LABELS",
+    "Metrics",
+    "RetrievalMetrics",
+    "summarize",
+    "combine",
+    "retrieval_metrics",
+    "EvaluationRunner",
+    "PoolResult",
+    "QuestionRecord",
+    "metrics_from_records",
+    "format_matrix",
+    "format_rows",
+    "matrix_to_csv",
+]

@@ -1,0 +1,114 @@
+"""Persisting and diffing evaluation results.
+
+Matrices and pool results serialize to JSON so runs can be archived,
+compared across code versions, and fed into external tooling.  The
+diff helper surfaces cells whose accuracy moved more than a tolerance
+— the regression check for harness changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Mapping
+
+from repro.core.metrics import Metrics
+from repro.core.results import PoolResult
+
+_FORMAT_VERSION = 1
+
+
+def matrix_to_payload(matrix: Mapping[tuple[str, str], Metrics],
+                      label: str = "") -> dict:
+    """JSON-compatible form of a (model, taxonomy) -> Metrics matrix."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "label": label,
+        "cells": [
+            {
+                "model": model,
+                "taxonomy": taxonomy,
+                "accuracy": metrics.accuracy,
+                "miss_rate": metrics.miss_rate,
+                "n": metrics.n,
+            }
+            for (model, taxonomy), metrics in sorted(matrix.items())
+        ],
+    }
+
+
+def matrix_from_payload(payload: dict) -> dict[tuple[str, str],
+                                               Metrics]:
+    """Inverse of :func:`matrix_to_payload`."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError("unsupported result format version")
+    return {
+        (cell["model"], cell["taxonomy"]): Metrics(
+            cell["accuracy"], cell["miss_rate"], cell["n"])
+        for cell in payload["cells"]
+    }
+
+
+def save_matrix(matrix: Mapping[tuple[str, str], Metrics],
+                path: str | Path, label: str = "") -> None:
+    Path(path).write_text(
+        json.dumps(matrix_to_payload(matrix, label), indent=1),
+        encoding="utf-8")
+
+
+def load_matrix(path: str | Path) -> dict[tuple[str, str], Metrics]:
+    return matrix_from_payload(
+        json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+@dataclass(frozen=True, slots=True)
+class CellDrift:
+    """One cell whose metrics moved between two runs."""
+
+    model: str
+    taxonomy: str
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def delta(self) -> float:
+        return self.accuracy_after - self.accuracy_before
+
+
+def diff_matrices(before: Mapping[tuple[str, str], Metrics],
+                  after: Mapping[tuple[str, str], Metrics],
+                  tolerance: float = 0.02) -> list[CellDrift]:
+    """Cells present in both runs whose accuracy moved > tolerance."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    drifts = []
+    for key in sorted(set(before) & set(after)):
+        delta = after[key].accuracy - before[key].accuracy
+        if abs(delta) > tolerance:
+            drifts.append(CellDrift(key[0], key[1],
+                                    before[key].accuracy,
+                                    after[key].accuracy))
+    return drifts
+
+
+def pool_result_to_payload(result: PoolResult) -> dict:
+    """Serialize one PoolResult (records included when kept)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "pool": result.pool_label,
+        "model": result.model,
+        "setting": result.setting,
+        "accuracy": result.metrics.accuracy,
+        "miss_rate": result.metrics.miss_rate,
+        "n": result.metrics.n,
+        "records": [
+            {
+                "uid": record.question_uid,
+                "response": record.response,
+                "parsed": record.parsed.value,
+                "expected": record.expected.value,
+            }
+            for record in result.records
+        ],
+    }

@@ -1,0 +1,85 @@
+"""Evaluation metrics (paper Section 3.3).
+
+The paper scores each (model, dataset) cell with **accuracy** (correct
+answers over all questions) and **miss rate** ("I don't know" answers
+over all questions).  Unparseable responses count as misses.  The case
+study additionally uses precision/recall over retrieved product lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Metrics:
+    """Accuracy and miss rate over ``n`` questions."""
+
+    accuracy: float
+    miss_rate: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("n must be non-negative")
+        for value, label in ((self.accuracy, "accuracy"),
+                             (self.miss_rate, "miss_rate")):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+
+    @property
+    def answered_accuracy(self) -> float:
+        """Accuracy conditioned on having answered at all."""
+        answered = 1.0 - self.miss_rate
+        if answered <= 0.0:
+            return 0.0
+        return min(1.0, self.accuracy / answered)
+
+
+def summarize(correct: int, missed: int, total: int) -> Metrics:
+    """Build :class:`Metrics` from raw counts."""
+    if total <= 0:
+        raise ValueError("cannot summarize zero questions")
+    if correct + missed > total:
+        raise ValueError("correct + missed exceeds total")
+    return Metrics(correct / total, missed / total, total)
+
+
+def combine(parts: list[Metrics]) -> Metrics:
+    """Question-count-weighted combination of per-level metrics."""
+    if not parts:
+        raise ValueError("cannot combine zero metric sets")
+    total = sum(part.n for part in parts)
+    accuracy = sum(part.accuracy * part.n for part in parts) / total
+    miss = sum(part.miss_rate * part.n for part in parts) / total
+    return Metrics(accuracy, miss, total)
+
+
+@dataclass(frozen=True, slots=True)
+class RetrievalMetrics:
+    """Precision/recall of a retrieved set (case study, Section 5.3)."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (2.0 * self.precision * self.recall
+                / (self.precision + self.recall))
+
+
+def retrieval_metrics(retrieved: set[str],
+                      relevant: set[str]) -> RetrievalMetrics:
+    """Precision/recall of ``retrieved`` against ``relevant``."""
+    true_positives = len(retrieved & relevant)
+    false_positives = len(retrieved - relevant)
+    false_negatives = len(relevant - retrieved)
+    precision = (true_positives / len(retrieved)) if retrieved else 0.0
+    recall = (true_positives / len(relevant)) if relevant else 0.0
+    return RetrievalMetrics(precision, recall, true_positives,
+                            false_positives, false_negatives)

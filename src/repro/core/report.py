@@ -1,0 +1,82 @@
+"""Rendering result matrices as text tables and CSV.
+
+``format_matrix`` reproduces the layout of the paper's Tables 5-7:
+one model per block with an accuracy (A) row and a miss-rate (M) row,
+one column per taxonomy.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping
+
+from repro.core.metrics import Metrics
+
+
+def format_matrix(matrix: Mapping[tuple[str, str], Metrics],
+                  models: list[str], taxonomy_labels: dict[str, str],
+                  title: str = "") -> str:
+    """Render a (model, taxonomy) -> Metrics matrix, Tables 5-7 style."""
+    keys = list(taxonomy_labels)
+    name_width = max((len(name) for name in models), default=5) + 2
+    column_width = max(max((len(label) for label
+                            in taxonomy_labels.values()), default=5) + 2,
+                       7)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (name_width + 4) + "".join(
+        taxonomy_labels[key].rjust(column_width) for key in keys)
+    lines.append(header)
+    for model in models:
+        for metric_label in ("A", "M"):
+            cells = []
+            for key in keys:
+                metrics = matrix.get((model, key))
+                if metrics is None:
+                    cells.append("n/a".rjust(column_width))
+                    continue
+                value = (metrics.accuracy if metric_label == "A"
+                         else metrics.miss_rate)
+                cells.append(f"{value:.3f}".rjust(column_width))
+            prefix = model if metric_label == "A" else ""
+            lines.append(f"{prefix:<{name_width}}{metric_label:>3} "
+                         + "".join(cells))
+    return "\n".join(lines)
+
+
+def matrix_to_csv(matrix: Mapping[tuple[str, str], Metrics],
+                  models: list[str],
+                  taxonomy_keys: list[str]) -> str:
+    """CSV with one row per (model, taxonomy) cell."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["model", "taxonomy", "accuracy", "miss_rate", "n"])
+    for model in models:
+        for key in taxonomy_keys:
+            metrics = matrix.get((model, key))
+            if metrics is None:
+                continue
+            writer.writerow([model, key, f"{metrics.accuracy:.4f}",
+                             f"{metrics.miss_rate:.4f}", metrics.n])
+    return buffer.getvalue()
+
+
+def format_rows(rows: list[dict[str, object]], title: str = "") -> str:
+    """Render a list of uniform dict rows as an aligned text table."""
+    if not rows:
+        return title
+    columns = list(rows[0])
+    widths = {column: max(len(str(column)),
+                          *(len(str(row[column])) for row in rows)) + 2
+              for column in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("".join(str(column).rjust(widths[column])
+                         for column in columns))
+    for row in rows:
+        lines.append("".join(str(row[column]).rjust(widths[column])
+                             for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Result records produced by the evaluation runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import Metrics, summarize
+from repro.questions.model import Answer
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionRecord:
+    """One (model, question) interaction, fully materialized."""
+
+    question_uid: str
+    model: str
+    setting: str
+    response: str
+    parsed: Answer
+    expected: Answer
+
+    @property
+    def missed(self) -> bool:
+        return self.parsed.is_miss
+
+    @property
+    def correct(self) -> bool:
+        return (not self.missed) and self.parsed is self.expected
+
+
+@dataclass(frozen=True, slots=True)
+class PoolResult:
+    """Aggregated outcome of a model on one question pool."""
+
+    pool_label: str
+    model: str
+    setting: str
+    metrics: Metrics
+    records: tuple[QuestionRecord, ...] = field(default=())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.model} on {self.pool_label} "
+                f"[{self.setting}]: A={self.metrics.accuracy:.3f} "
+                f"M={self.metrics.miss_rate:.3f} (n={self.metrics.n})")
+
+
+def metrics_from_records(records: list[QuestionRecord]) -> Metrics:
+    """Score a batch of interaction records."""
+    correct = sum(1 for record in records if record.correct)
+    missed = sum(1 for record in records if record.missed)
+    return summarize(correct, missed, len(records))

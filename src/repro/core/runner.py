@@ -1,0 +1,91 @@
+"""The evaluation runner: model x pool x prompting setting.
+
+The loop is the one the paper ran against real endpoints: render the
+prompt (with few-shot exemplars from the same pool when requested),
+send it to the model, parse the raw text response, score it.  Models
+are opaque :class:`ChatModel` objects — swap a simulated backend for a
+real API client and nothing here changes.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import Metrics
+from repro.core.results import (PoolResult, QuestionRecord,
+                                metrics_from_records)
+from repro.llm.base import ChatModel
+from repro.llm.parsing import parse_answer
+from repro.llm.prompting import PromptSetting, build_prompt
+from repro.questions.model import Question
+from repro.questions.pools import QuestionPool
+
+
+class EvaluationRunner:
+    """Drives models over question pools and scores the answers."""
+
+    def __init__(self, variant: int = 0, keep_records: bool = False):
+        #: Template paraphrase variant (0 is the paper's main results).
+        self.variant = variant
+        #: Whether PoolResults carry per-question records.
+        self.keep_records = keep_records
+
+    def ask(self, model: ChatModel, question: Question,
+            setting: PromptSetting = PromptSetting.ZERO_SHOT,
+            pool_questions: tuple[Question, ...] = ()) -> QuestionRecord:
+        """One question -> one scored interaction record."""
+        prompt = build_prompt(question, setting,
+                              pool_questions=pool_questions,
+                              variant=self.variant)
+        response = model.generate(prompt)
+        parsed = parse_answer(response, question)
+        return QuestionRecord(
+            question_uid=question.uid,
+            model=model.name,
+            setting=setting.value,
+            response=response,
+            parsed=parsed,
+            expected=question.expected_answer,
+        )
+
+    def evaluate(self, model: ChatModel, pool: QuestionPool,
+                 setting: PromptSetting = PromptSetting.ZERO_SHOT
+                 ) -> PoolResult:
+        """Score ``model`` on every question of ``pool``."""
+        records = [self.ask(model, question, setting,
+                            pool_questions=pool.questions)
+                   for question in pool.questions]
+        return PoolResult(
+            pool_label=pool.label,
+            model=model.name,
+            setting=setting.value,
+            metrics=metrics_from_records(records),
+            records=tuple(records) if self.keep_records else (),
+        )
+
+    def evaluate_questions(self, model: ChatModel,
+                           questions: tuple[Question, ...],
+                           setting: PromptSetting =
+                           PromptSetting.ZERO_SHOT,
+                           label: str = "ad-hoc") -> PoolResult:
+        """Score a bare question tuple (instance typing pools)."""
+        records = [self.ask(model, question, setting,
+                            pool_questions=questions)
+                   for question in questions]
+        return PoolResult(
+            pool_label=label,
+            model=model.name,
+            setting=setting.value,
+            metrics=metrics_from_records(records),
+            records=tuple(records) if self.keep_records else (),
+        )
+
+    def evaluate_matrix(self, models: list[ChatModel],
+                        pools: dict[str, QuestionPool],
+                        setting: PromptSetting = PromptSetting.ZERO_SHOT
+                        ) -> dict[tuple[str, str], Metrics]:
+        """The Tables 5-7 shape: (model, taxonomy) -> metrics."""
+        matrix: dict[tuple[str, str], Metrics] = {}
+        for model in models:
+            for taxonomy_key, pool in pools.items():
+                result = self.evaluate(model, pool, setting)
+                matrix[model.name, taxonomy_key] = result.metrics
+        return matrix

@@ -1,0 +1,123 @@
+"""Qualitative anchors for the paper's figures.
+
+* ``LEVEL_SHAPES`` — the root-to-leaf accuracy trend per taxonomy
+  (Figure 3): additive deviations applied around each model's overall
+  accuracy, one entry per question level ("level 1-root" first).  Most
+  taxonomies decline toward the leaves; NCBI dips in the middle and
+  jumps at the species->genus level; OAE rises toward the leaf — both
+  effects the paper attributes to parent/child surface-form overlap.
+
+* ``PROMPTING_EFFECTS`` — per-model miss-rate multipliers under
+  few-shot and Chain-of-Thoughts prompting (Figure 4).  Few-shot mostly
+  slashes abstention; CoT raises it for weaker models; both are close
+  to no-ops for the strongest models (Finding 4).
+
+* ``SCALABILITY`` — parameter counts, GPU RAM and per-question latency
+  for the open-source series (Figure 7).  RAM follows fp16 weights plus
+  runtime overhead; latencies encode the figure's qualitative story
+  (Flan-T5s, Vicunas and Llama-3s scale well; Falcon-40B does not).
+
+* ``POPULARITY_LOG10_HITS`` — mean log10 Google-result counts per
+  taxonomy (Figure 2): common taxonomies around 10^7, NCBI near 10^3.
+"""
+
+from __future__ import annotations
+
+#: Figure 3 — per-question-level accuracy deviations, root side first.
+LEVEL_SHAPES: dict[str, tuple[float, ...]] = {
+    "ebay": (0.03, -0.03),
+    "amazon": (0.06, 0.02, -0.03, -0.05),
+    "google": (0.06, 0.02, -0.03, -0.05),
+    "schema": (0.08, 0.04, -0.02, -0.04, -0.06),
+    "acm_ccs": (0.08, 0.03, -0.03, -0.08),
+    "geonames": (0.0,),
+    "glottolog": (0.10, 0.05, 0.0, -0.06, -0.09),
+    "icd10cm": (0.06, 0.0, -0.06),
+    "oae": (-0.05, -0.02, 0.02, 0.05),
+    "ncbi": (0.12, 0.05, -0.10, -0.14, -0.12, 0.19),
+}
+
+
+#: Figure 4 — (few-shot miss multiplier, CoT miss multiplier).  Values
+#: near 1.0 mean the setting barely moves the model (Finding 4).
+PROMPTING_EFFECTS: dict[str, tuple[float, float]] = {
+    "GPT-3.5": (0.40, 1.20),
+    "GPT-4": (0.80, 1.05),
+    "Claude-3": (0.60, 1.10),
+    "Llama-2-7B": (0.10, 1.04),
+    "Llama-2-13B": (0.30, 1.30),
+    "Llama-2-70B": (0.30, 1.25),
+    "Llama-3-8B": (0.50, 1.20),
+    "Llama-3-70B": (0.03, 1.15),
+    "Flan-T5-3B": (1.00, 1.00),
+    "Flan-T5-11B": (1.00, 1.00),
+    "Falcon-7B": (1.00, 1.05),
+    "Falcon-40B": (0.25, 1.02),
+    "Vicuna-7B": (1.00, 1.20),
+    "Vicuna-13B": (0.35, 1.30),
+    "Vicuna-33B": (0.40, 1.25),
+    "Mistral": (0.30, 1.25),
+    "Mixtral": (0.45, 1.20),
+    "LLMs4OL": (1.00, 1.00),
+}
+
+#: Conditional accuracy assumed when a model abstains so often that the
+#: paper's (accuracy, miss) pair pins the conditional accuracy poorly
+#: (miss > 0.95).  Used when few-shot prompting forces such a model to
+#: guess: Llama-2-7B then scores "comparable to Flan-T5-3B on some
+#: taxonomies" (Section 4.4).
+LATENT_ACCURACY: dict[str, float] = {
+    "Llama-2-7B": 0.62,
+    "Falcon-40B": 0.40,
+    "Mistral": 0.50,
+}
+_DEFAULT_LATENT_ACCURACY = 0.50
+
+
+def latent_accuracy(model: str) -> float:
+    """Fallback conditional accuracy for heavy abstainers."""
+    return LATENT_ACCURACY.get(model, _DEFAULT_LATENT_ACCURACY)
+
+
+#: Figure 7 — (billions of parameters, GPU RAM in GB, seconds/question).
+SCALABILITY: dict[str, tuple[float, float, float]] = {
+    "Llama-2-7B": (7.0, 14.9, 0.35),
+    "Llama-2-13B": (13.0, 27.3, 0.55),
+    "Llama-2-70B": (70.0, 143.0, 1.90),
+    "Llama-3-8B": (8.0, 17.1, 0.35),
+    "Llama-3-70B": (70.0, 143.0, 0.90),
+    "Flan-T5-3B": (3.0, 6.8, 0.10),
+    "Flan-T5-11B": (11.0, 23.2, 0.16),
+    "Falcon-7B": (7.0, 14.9, 0.40),
+    "Falcon-40B": (40.0, 82.5, 2.50),
+    "Vicuna-7B": (7.0, 14.9, 0.30),
+    "Vicuna-13B": (13.0, 27.3, 0.40),
+    "Vicuna-33B": (33.0, 68.4, 0.55),
+    "Mistral": (7.0, 14.9, 0.35),
+    "Mixtral": (46.7, 96.4, 0.80),
+    "LLMs4OL": (3.0, 6.8, 0.10),
+}
+
+#: Figure 7 groups models into series for the per-series panels.
+SERIES_MEMBERS: dict[str, tuple[str, ...]] = {
+    "Llama-2s": ("Llama-2-7B", "Llama-2-13B", "Llama-2-70B"),
+    "Llama-3s": ("Llama-3-8B", "Llama-3-70B"),
+    "Flan-T5s": ("Flan-T5-3B", "Flan-T5-11B"),
+    "Falcons": ("Falcon-7B", "Falcon-40B"),
+    "Vicunas": ("Vicuna-7B", "Vicuna-13B", "Vicuna-33B"),
+    "Mistrals": ("Mistral", "Mixtral"),
+}
+
+#: Figure 2 — mean log10 exact-match web hits per taxonomy concept.
+POPULARITY_LOG10_HITS: dict[str, float] = {
+    "ebay": 7.8,
+    "schema": 7.5,
+    "amazon": 7.2,
+    "google": 6.9,
+    "acm_ccs": 5.5,
+    "geonames": 5.2,
+    "icd10cm": 4.8,
+    "oae": 4.2,
+    "glottolog": 3.9,
+    "ncbi": 3.4,
+}

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TaxonomyError(ReproError):
+    """Raised when a taxonomy is malformed or an operation is invalid."""
+
+
+class UnknownNodeError(TaxonomyError):
+    """Raised when a node id is not present in a taxonomy."""
+
+    def __init__(self, node_id: str):
+        super().__init__(f"unknown node id: {node_id!r}")
+        self.node_id = node_id
+
+
+class ValidationError(TaxonomyError):
+    """Raised when taxonomy validation fails.
+
+    Carries the full list of problems so callers can report all of them
+    at once instead of fixing them one by one.
+    """
+
+    def __init__(self, problems: list[str]):
+        super().__init__(
+            "taxonomy validation failed: " + "; ".join(problems))
+        self.problems = list(problems)
+
+
+class QuestionGenerationError(ReproError):
+    """Raised when a question pool cannot be generated as requested."""
+
+
+class PromptError(ReproError):
+    """Raised when a prompt cannot be built or parsed."""
+
+
+class ModelError(ReproError):
+    """Raised when an LLM backend fails or is misconfigured."""
+
+
+class UnknownModelError(ModelError):
+    """Raised when a model name is not present in the registry."""
+
+    def __init__(self, name: str, known: list[str] | None = None):
+        hint = f" (known: {', '.join(known)})" if known else ""
+        super().__init__(f"unknown model: {name!r}{hint}")
+        self.name = name
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a model profile cannot be calibrated."""

@@ -1,0 +1,115 @@
+"""Section 4.3 analyses — do standard LLM improvements help?
+
+Three comparisons over an :class:`OverallResult` matrix:
+
+* **model size scaling** within each series (Llama-2 and Flan-T5 gain
+  with size; Vicunas and Falcons do not — Falcon-40B collapses),
+* **domain-agnostic fine-tuning** (Vicuna vs its Llama-2 base), and
+* **domain-specific fine-tuning** (LLMs4OL vs its Flan-T5-3B base,
+  the paper's +12.9% on hard).
+
+Also the Finding 1 summary: common-vs-specialized accuracy gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.core.metrics import Metrics
+from repro.generators.registry import COMMON_KEYS, SPECIALIZED_KEYS
+
+#: Base-model pairs used by the fine-tuning comparisons.
+VICUNA_VS_LLAMA: tuple[tuple[str, str], ...] = (
+    ("Vicuna-7B", "Llama-2-7B"), ("Vicuna-13B", "Llama-2-13B"))
+LLMS4OL_BASE = ("LLMs4OL", "Flan-T5-3B")
+
+
+def _model_mean(matrix: dict[tuple[str, str], Metrics], model: str,
+                keys: tuple[str, ...] | None = None) -> float:
+    values = [metrics.accuracy
+              for (name, key), metrics in matrix.items()
+              if name == model and (keys is None or key in keys)]
+    if not values:
+        raise ValueError(f"model {model!r} not in matrix")
+    return fmean(values)
+
+
+@dataclass(frozen=True, slots=True)
+class DomainGap:
+    """Finding 1: accuracy on common vs specialized taxonomies."""
+
+    model: str
+    common_accuracy: float
+    specialized_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        return self.common_accuracy - self.specialized_accuracy
+
+
+def domain_gaps(matrix: dict[tuple[str, str], Metrics]
+                ) -> list[DomainGap]:
+    """Per-model common-vs-specialized gaps (OAE and ICD-10-CM are the
+    paper's noted exceptions and are included in the specialized mean,
+    as in the paper)."""
+    models = sorted({model for model, _ in matrix})
+    gaps = []
+    for model in models:
+        common = _model_mean(matrix, model, COMMON_KEYS)
+        specialized = _model_mean(matrix, model, SPECIALIZED_KEYS)
+        gaps.append(DomainGap(model, common, specialized))
+    return gaps
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingStep:
+    """Accuracy change from a smaller to a larger series member."""
+
+    series: str
+    smaller: str
+    larger: str
+    smaller_accuracy: float
+    larger_accuracy: float
+
+    @property
+    def improves(self) -> bool:
+        return self.larger_accuracy > self.smaller_accuracy
+
+
+def size_scaling_steps(matrix: dict[tuple[str, str], Metrics],
+                       series: dict[str, tuple[str, ...]]
+                       ) -> list[ScalingStep]:
+    """Adjacent-size comparisons within every open-source series."""
+    steps = []
+    for name, members in series.items():
+        present = [member for member in members
+                   if any(model == member for model, _ in matrix)]
+        for smaller, larger in zip(present, present[1:]):
+            steps.append(ScalingStep(
+                name, smaller, larger,
+                _model_mean(matrix, smaller),
+                _model_mean(matrix, larger)))
+    return steps
+
+
+@dataclass(frozen=True, slots=True)
+class TuningEffect:
+    """Fine-tuned model vs its base, averaged over taxonomies."""
+
+    tuned: str
+    base: str
+    tuned_accuracy: float
+    base_accuracy: float
+
+    @property
+    def uplift(self) -> float:
+        return self.tuned_accuracy - self.base_accuracy
+
+
+def tuning_effect(matrix: dict[tuple[str, str], Metrics],
+                  tuned: str, base: str) -> TuningEffect:
+    """Average-accuracy effect of fine-tuning ``base`` into ``tuned``."""
+    return TuningEffect(tuned, base,
+                        _model_mean(matrix, tuned),
+                        _model_mean(matrix, base))

@@ -1,0 +1,37 @@
+"""Shared experiment configuration.
+
+Every experiment accepts an :class:`ExperimentConfig`; the default
+reproduces the paper-scale runs (Cochran sample sizes, all eighteen
+models, all ten taxonomies), while ``ExperimentConfig.fast()`` gives a
+seconds-scale smoke configuration used by tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.paper_tables import MODEL_ORDER, TAXONOMY_ORDER
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    sample_size: int | None = None       # None = paper Cochran sizes
+    models: tuple[str, ...] = MODEL_ORDER
+    taxonomy_keys: tuple[str, ...] = TAXONOMY_ORDER
+    variant: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def fast(cls, models: tuple[str, ...] | None = None,
+             taxonomy_keys: tuple[str, ...] | None = None
+             ) -> "ExperimentConfig":
+        """A smoke-test configuration (small samples, few models)."""
+        return cls(
+            sample_size=24,
+            models=models or ("GPT-4", "Llama-2-7B", "Flan-T5-3B",
+                              "LLMs4OL"),
+            taxonomy_keys=taxonomy_keys or ("ebay", "schema",
+                                            "glottolog", "ncbi"),
+        )

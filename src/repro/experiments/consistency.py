@@ -1,0 +1,127 @@
+"""Logical-consistency probes over the Is-A relation.
+
+The paper's closing discussion asks whether LLM-resident taxonomies can
+support *knowledge reasoning*.  Reliable reasoning needs more than
+per-edge accuracy; it needs the relation's algebra to hold:
+
+* **asymmetry** — if "child Is-A parent" is Yes, the reverse question
+  must be No (a model saying Yes both ways has no usable hierarchy);
+* **transitivity** — if child Is-A parent and parent Is-A grandparent,
+  then child Is-A grandparent must also hold.
+
+These probes sample edges/chains from a taxonomy, put all the
+questions through the normal prompt/parse loop, and report violation
+rates — an extension experiment beyond the paper's tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.generators.registry import build_taxonomy
+from repro.llm.base import ChatModel
+from repro.llm.parsing import parse_true_false
+from repro.questions.model import Answer
+from repro.questions.templates import true_false_prompt
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyReport:
+    """Violation rates for one (model, taxonomy) probe run."""
+
+    model: str
+    taxonomy_key: str
+    edges_probed: int
+    #: Pairs where the forward edge was confirmed Yes.
+    forward_yes: int
+    #: ...and the reversed question was also answered Yes (violation).
+    symmetry_violations: int
+    chains_probed: int
+    #: Chains with both single hops confirmed Yes.
+    chain_premises_yes: int
+    #: ...where the long hop was *not* Yes (violation).
+    transitivity_violations: int
+
+    @property
+    def symmetry_violation_rate(self) -> float:
+        if self.forward_yes == 0:
+            return 0.0
+        return self.symmetry_violations / self.forward_yes
+
+    @property
+    def transitivity_violation_rate(self) -> float:
+        if self.chain_premises_yes == 0:
+            return 0.0
+        return self.transitivity_violations / self.chain_premises_yes
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "model": self.model,
+            "taxonomy": self.taxonomy_key,
+            "edges": self.edges_probed,
+            "symmetry violations":
+                f"{self.symmetry_violation_rate:.3f}",
+            "chains": self.chains_probed,
+            "transitivity violations":
+                f"{self.transitivity_violation_rate:.3f}",
+        }
+
+
+def _answer(model: ChatModel, taxonomy: Taxonomy, child: str,
+            parent: str) -> Answer:
+    prompt = true_false_prompt(taxonomy.domain, child, parent)
+    return parse_true_false(model.generate(prompt))
+
+
+def probe_consistency(model: ChatModel, taxonomy_key: str,
+                      taxonomy: Taxonomy | None = None,
+                      edges: int = 100, chains: int = 100,
+                      seed: str = "consistency") -> ConsistencyReport:
+    """Run asymmetry and transitivity probes on sampled structure."""
+    if taxonomy is None:
+        taxonomy = build_taxonomy(taxonomy_key)
+    rng = random.Random(f"{seed}|{taxonomy_key}")
+
+    non_roots = [node for node in taxonomy if not node.is_root]
+    edge_sample = rng.sample(non_roots, min(edges, len(non_roots)))
+    forward_yes = 0
+    symmetry_violations = 0
+    for child in edge_sample:
+        parent = taxonomy.parent(child.node_id)
+        if _answer(model, taxonomy, child.name, parent.name) \
+                is not Answer.YES:
+            continue
+        forward_yes += 1
+        if _answer(model, taxonomy, parent.name, child.name) \
+                is Answer.YES:
+            symmetry_violations += 1
+
+    deep = [node for node in non_roots if node.level >= 2]
+    chain_sample = rng.sample(deep, min(chains, len(deep)))
+    premises_yes = 0
+    transitivity_violations = 0
+    for child in chain_sample:
+        parent = taxonomy.parent(child.node_id)
+        grandparent = taxonomy.parent(parent.node_id)
+        hop1 = _answer(model, taxonomy, child.name, parent.name)
+        hop2 = _answer(model, taxonomy, parent.name, grandparent.name)
+        if hop1 is not Answer.YES or hop2 is not Answer.YES:
+            continue
+        premises_yes += 1
+        long_hop = _answer(model, taxonomy, child.name,
+                           grandparent.name)
+        if long_hop is not Answer.YES:
+            transitivity_violations += 1
+
+    return ConsistencyReport(
+        model=model.name,
+        taxonomy_key=taxonomy_key,
+        edges_probed=len(edge_sample),
+        forward_yes=forward_yes,
+        symmetry_violations=symmetry_violations,
+        chains_probed=len(chain_sample),
+        chain_premises_yes=premises_yes,
+        transitivity_violations=transitivity_violations,
+    )

@@ -1,0 +1,23 @@
+"""Experiment T4 — question dataset statistics (paper Table 4).
+
+Regenerates every taxonomy's question pools and reports easy/hard/MCQ
+counts per level, the same layout as Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.questions.pools import build_pools
+
+
+def table4_rows(config: ExperimentConfig | None = None
+                ) -> list[dict[str, object]]:
+    """Flattened Table 4: one row per (taxonomy, level)."""
+    if config is None:
+        config = ExperimentConfig()
+    rows = []
+    for key in config.taxonomy_keys:
+        pools = build_pools(key, sample_size=config.sample_size)
+        for stat in pools.statistics():
+            rows.append({"taxonomy": key, **stat})
+    return rows

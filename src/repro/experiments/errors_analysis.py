@@ -1,0 +1,124 @@
+"""Error and abstention analysis over evaluation records.
+
+Goes one level deeper than the paper's accuracy/miss summaries:
+
+* :func:`error_breakdown` splits a run's mistakes into *false-yes*
+  (accepting a wrong parent — the dangerous failure for taxonomy
+  replacement), *false-no* (rejecting the true parent), wrong MCQ
+  letters, and abstentions by question polarity;
+* :func:`abstention_calibration` scores whether a model abstains
+  *where it is weak* — the paper's "desirable cautiousness" note about
+  the GPTs' rising miss rates on Glottolog/NCBI, made quantitative as
+  the correlation between per-taxonomy miss rate and per-taxonomy
+  answered-conditional error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.metrics import Metrics
+from repro.core.results import QuestionRecord
+from repro.questions.model import (Answer, Question, QuestionKind,
+                                   QuestionType)
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorBreakdown:
+    """Mistake taxonomy for one (model, pool) run."""
+
+    model: str
+    total: int
+    correct: int
+    false_yes: int            # accepted a wrong parent
+    false_no: int             # rejected the true parent
+    wrong_option: int         # MCQ: picked a distractor
+    abstained_positive: int
+    abstained_negative: int
+
+    @property
+    def false_yes_rate(self) -> float:
+        return self.false_yes / self.total if self.total else 0.0
+
+    @property
+    def false_no_rate(self) -> float:
+        return self.false_no / self.total if self.total else 0.0
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "model": self.model,
+            "n": self.total,
+            "correct": self.correct,
+            "false-yes": self.false_yes,
+            "false-no": self.false_no,
+            "wrong-option": self.wrong_option,
+            "abstained+": self.abstained_positive,
+            "abstained-": self.abstained_negative,
+        }
+
+
+def error_breakdown(questions: tuple[Question, ...],
+                    records: tuple[QuestionRecord, ...]
+                    ) -> ErrorBreakdown:
+    """Classify every record against its question.
+
+    ``records`` must come from an ``EvaluationRunner`` run with
+    ``keep_records=True`` over exactly ``questions`` (matched by uid).
+    """
+    by_uid = {question.uid: question for question in questions}
+    missing = [record.question_uid for record in records
+               if record.question_uid not in by_uid]
+    if missing:
+        raise ValueError(
+            f"records reference unknown questions: {missing[:3]}")
+
+    counts = dict(correct=0, false_yes=0, false_no=0, wrong_option=0,
+                  abstained_positive=0, abstained_negative=0)
+    for record in records:
+        question = by_uid[record.question_uid]
+        positive = question.kind in (QuestionKind.POSITIVE,
+                                     QuestionKind.MCQ)
+        if record.missed:
+            key = ("abstained_positive" if positive
+                   else "abstained_negative")
+            counts[key] += 1
+        elif record.correct:
+            counts["correct"] += 1
+        elif question.qtype is QuestionType.MCQ:
+            counts["wrong_option"] += 1
+        elif record.parsed is Answer.YES:
+            counts["false_yes"] += 1
+        else:
+            counts["false_no"] += 1
+
+    model = records[0].model if records else "?"
+    return ErrorBreakdown(model=model, total=len(records), **counts)
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def abstention_calibration(cells: Mapping[str, Metrics]) -> float:
+    """Correlation between miss rate and answered error per taxonomy.
+
+    ``cells`` maps taxonomy keys to one model's metrics.  Positive
+    values mean the model abstains more exactly where its answered
+    accuracy is lower — the desirable cautiousness the paper credits
+    to the GPTs; zero or negative means abstention is uninformative.
+    """
+    if len(cells) < 2:
+        raise ValueError("needs metrics for at least two taxonomies")
+    misses = [metrics.miss_rate for metrics in cells.values()]
+    errors = [1.0 - metrics.answered_accuracy
+              for metrics in cells.values()]
+    return _pearson(misses, errors)

@@ -1,0 +1,66 @@
+"""Experiment F6 — instance typing per level (paper Section 4.5).
+
+For the six taxonomies with well-defined instances, evaluates models on
+instance->ancestor typing pairs grouped by the target ancestor's level
+(hard negatives), reproducing Figure 6's per-level curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import EvaluationRunner
+from repro.experiments.config import ExperimentConfig
+from repro.llm.registry import get_model
+from repro.questions.instance_typing import (INSTANCE_TYPING_KEYS,
+                                             build_instance_typing_pools)
+from repro.questions.model import DatasetKind
+
+
+@dataclass(frozen=True, slots=True)
+class TypingSeries:
+    """One model's accuracy per target level on one taxonomy."""
+
+    model: str
+    taxonomy_key: str
+    target_levels: tuple[int, ...]
+    accuracies: tuple[float, ...]
+    miss_rates: tuple[float, ...]
+
+    @property
+    def declines_overall(self) -> bool:
+        return self.accuracies[0] > self.accuracies[-1]
+
+
+def run_instance_typing(config: ExperimentConfig | None = None,
+                        dataset: DatasetKind = DatasetKind.HARD
+                        ) -> list[TypingSeries]:
+    """Evaluate instance typing for every configured (model, taxonomy)."""
+    if config is None:
+        config = ExperimentConfig()
+    keys = [key for key in config.taxonomy_keys
+            if key in INSTANCE_TYPING_KEYS]
+    runner = EvaluationRunner(variant=config.variant)
+    series: list[TypingSeries] = []
+    for key in keys:
+        pools = build_instance_typing_pools(
+            key, sample_size=config.sample_size)
+        for model_name in config.models:
+            model = get_model(model_name)
+            accuracies = []
+            misses = []
+            levels = []
+            for level in pools.target_levels:
+                questions = pools.questions(level, dataset)
+                if not questions:
+                    continue
+                result = runner.evaluate_questions(
+                    model, questions,
+                    label=f"{key}/instance-typing/level{level}")
+                levels.append(level)
+                accuracies.append(result.metrics.accuracy)
+                misses.append(result.metrics.miss_rate)
+            series.append(TypingSeries(model_name, key, tuple(levels),
+                                       tuple(accuracies),
+                                       tuple(misses)))
+    return series

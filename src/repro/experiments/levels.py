@@ -1,0 +1,78 @@
+"""Experiment F3 — accuracy per taxonomy level on hard datasets.
+
+Reproduces Figure 3: for every taxonomy (GeoNames excluded, it has a
+single question level) the accuracy of each model per child level under
+zero-shot prompting, exposing the root-to-leaf decline, the NCBI
+species->genus uplift and the OAE leafward rise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.experiments.config import ExperimentConfig
+from repro.questions.model import DatasetKind, level_label
+
+#: Figure 3 omits GeoNames (one question level only).
+FIGURE3_KEYS: tuple[str, ...] = (
+    "ebay", "amazon", "google", "schema", "acm_ccs", "glottolog",
+    "icd10cm", "oae", "ncbi")
+
+
+@dataclass(frozen=True, slots=True)
+class LevelSeries:
+    """One model's root-to-leaf accuracy curve on one taxonomy."""
+
+    model: str
+    taxonomy_key: str
+    levels: tuple[int, ...]
+    accuracies: tuple[float, ...]
+    miss_rates: tuple[float, ...]
+
+    @property
+    def declines_overall(self) -> bool:
+        """True when the first level beats the last (root > leaf)."""
+        return self.accuracies[0] > self.accuracies[-1]
+
+    @property
+    def last_level_uplift(self) -> float:
+        """Leaf accuracy minus the preceding level (NCBI signature)."""
+        if len(self.accuracies) < 2:
+            return 0.0
+        return self.accuracies[-1] - self.accuracies[-2]
+
+    def rows(self) -> list[dict[str, object]]:
+        return [{
+            "model": self.model,
+            "taxonomy": self.taxonomy_key,
+            "level": level_label(level),
+            "accuracy": round(accuracy, 3),
+            "miss_rate": round(miss, 3),
+        } for level, accuracy, miss in zip(
+            self.levels, self.accuracies, self.miss_rates)]
+
+
+def run_levels(config: ExperimentConfig | None = None,
+               dataset: DatasetKind = DatasetKind.HARD,
+               bench: TaxoGlimpse | None = None) -> list[LevelSeries]:
+    """Per-level curves for every (model, taxonomy) pair."""
+    if config is None:
+        config = ExperimentConfig()
+    if bench is None:
+        bench = TaxoGlimpse(sample_size=config.sample_size,
+                            variant=config.variant)
+    keys = [key for key in config.taxonomy_keys if key in FIGURE3_KEYS]
+    series: list[LevelSeries] = []
+    for key in keys:
+        levels = bench.pools(key).question_levels
+        for model in config.models:
+            accuracies = []
+            misses = []
+            for level in levels:
+                result = bench.run(model, key, dataset, level=level)
+                accuracies.append(result.metrics.accuracy)
+                misses.append(result.metrics.miss_rate)
+            series.append(LevelSeries(model, key, tuple(levels),
+                                      tuple(accuracies), tuple(misses)))
+    return series

@@ -1,0 +1,81 @@
+"""Experiments T5/T6/T7 — overall results on hard/easy/MCQ datasets.
+
+Runs the full (models x taxonomies) matrix under zero-shot prompting
+and reports measured accuracy/miss next to the paper's numbers, plus
+the absolute deviations — the core reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.core.metrics import Metrics
+from repro.data.paper_tables import paper_anchor
+from repro.experiments.config import ExperimentConfig
+from repro.questions.model import DatasetKind
+
+
+@dataclass(frozen=True, slots=True)
+class CellComparison:
+    """One (model, taxonomy) cell: measured vs paper."""
+
+    model: str
+    taxonomy_key: str
+    measured: Metrics
+    paper_accuracy: float
+    paper_miss: float
+
+    @property
+    def accuracy_delta(self) -> float:
+        return self.measured.accuracy - self.paper_accuracy
+
+    @property
+    def miss_delta(self) -> float:
+        return self.measured.miss_rate - self.paper_miss
+
+
+@dataclass(frozen=True, slots=True)
+class OverallResult:
+    """The full matrix for one dataset kind, with paper comparison."""
+
+    dataset: DatasetKind
+    cells: tuple[CellComparison, ...]
+
+    def matrix(self) -> dict[tuple[str, str], Metrics]:
+        return {(cell.model, cell.taxonomy_key): cell.measured
+                for cell in self.cells}
+
+    @property
+    def mean_abs_accuracy_delta(self) -> float:
+        return sum(abs(cell.accuracy_delta) for cell in self.cells) \
+            / len(self.cells)
+
+    @property
+    def mean_abs_miss_delta(self) -> float:
+        return sum(abs(cell.miss_delta) for cell in self.cells) \
+            / len(self.cells)
+
+    def worst_cells(self, count: int = 5) -> list[CellComparison]:
+        return sorted(self.cells,
+                      key=lambda cell: abs(cell.accuracy_delta),
+                      reverse=True)[:count]
+
+
+def run_overall(dataset: DatasetKind,
+                config: ExperimentConfig | None = None,
+                bench: TaxoGlimpse | None = None) -> OverallResult:
+    """Regenerate Table 5 (hard), 6 (easy) or 7 (MCQ)."""
+    if config is None:
+        config = ExperimentConfig()
+    if bench is None:
+        bench = TaxoGlimpse(sample_size=config.sample_size,
+                            variant=config.variant)
+    matrix = bench.run_table(dataset, models=list(config.models),
+                             taxonomy_keys=list(config.taxonomy_keys))
+    cells = []
+    for (model, key), metrics in matrix.items():
+        accuracy, miss = paper_anchor(dataset.value, model, key)
+        cells.append(CellComparison(model, key, metrics, accuracy,
+                                    miss))
+    return OverallResult(dataset, tuple(cells))

@@ -1,0 +1,32 @@
+"""Experiment F2 — taxonomy popularity ranking (paper Figure 2)."""
+
+from __future__ import annotations
+
+from repro.generators.registry import COMMON_KEYS
+from repro.popularity.estimator import (DEFAULT_SAMPLE,
+                                        PopularityEstimate,
+                                        popularity_ranking)
+
+
+def figure2_rows(sample: int = DEFAULT_SAMPLE) -> list[dict[str, object]]:
+    """Popularity bars, most popular first."""
+    return [{
+        "taxonomy": estimate.taxonomy_key,
+        "mean_hits": round(estimate.mean_hits),
+        "group": ("common" if estimate.taxonomy_key in COMMON_KEYS
+                  else "specialized"),
+        "sample": estimate.sample_size,
+    } for estimate in popularity_ranking(sample=sample)]
+
+
+def common_beat_specialized(
+        estimates: list[PopularityEstimate] | None = None) -> bool:
+    """Figure 2's headline: every common taxonomy out-ranks every
+    specialized one."""
+    ranking = estimates if estimates is not None else \
+        popularity_ranking()
+    common = [est.mean_hits for est in ranking
+              if est.taxonomy_key in COMMON_KEYS]
+    specialized = [est.mean_hits for est in ranking
+                   if est.taxonomy_key not in COMMON_KEYS]
+    return min(common) > max(specialized)

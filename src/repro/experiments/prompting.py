@@ -1,0 +1,73 @@
+"""Experiment F4 — prompting settings (zero-shot / few-shot / CoT).
+
+Reproduces Figure 4's radar charts: representative models evaluated on
+every taxonomy's hard dataset under the three prompting settings.  The
+paper's Finding 4 — few-shot mostly cuts miss rates, CoT raises them
+for weak models, the strongest models barely move — falls out of the
+returned data and is asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.experiments.config import ExperimentConfig
+from repro.llm.prompting import PromptSetting
+from repro.questions.model import DatasetKind
+
+#: The models Figure 4 charts.
+REPRESENTATIVE_MODELS: tuple[str, ...] = (
+    "GPT-4", "Flan-T5-11B", "Llama-2-7B")
+
+
+@dataclass(frozen=True, slots=True)
+class RadarPoint:
+    """One spoke of a radar chart: model x taxonomy x setting."""
+
+    model: str
+    taxonomy_key: str
+    setting: str
+    accuracy: float
+    miss_rate: float
+
+
+@dataclass(frozen=True, slots=True)
+class PromptingResult:
+    """All radar points, with per-model-setting averages."""
+
+    points: tuple[RadarPoint, ...]
+
+    def series(self, model: str,
+               setting: PromptSetting) -> list[RadarPoint]:
+        return [point for point in self.points
+                if point.model == model
+                and point.setting == setting.value]
+
+    def average(self, model: str, setting: PromptSetting,
+                metric: str = "accuracy") -> float:
+        spokes = self.series(model, setting)
+        values = [getattr(point, metric) for point in spokes]
+        return sum(values) / len(values)
+
+
+def run_prompting(config: ExperimentConfig | None = None,
+                  models: tuple[str, ...] = REPRESENTATIVE_MODELS,
+                  dataset: DatasetKind = DatasetKind.HARD,
+                  bench: TaxoGlimpse | None = None) -> PromptingResult:
+    """Evaluate representative models under all three settings."""
+    if config is None:
+        config = ExperimentConfig()
+    if bench is None:
+        bench = TaxoGlimpse(sample_size=config.sample_size,
+                            variant=config.variant)
+    points: list[RadarPoint] = []
+    for model in models:
+        for key in config.taxonomy_keys:
+            for setting in PromptSetting:
+                result = bench.run(model, key, dataset, setting=setting)
+                points.append(RadarPoint(
+                    model, key, setting.value,
+                    result.metrics.accuracy,
+                    result.metrics.miss_rate))
+    return PromptingResult(tuple(points))

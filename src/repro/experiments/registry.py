@@ -1,0 +1,80 @@
+"""Index of experiments: paper artifact -> runner callable.
+
+Mirrors DESIGN.md's per-experiment index so tooling (benchmarks,
+EXPERIMENTS.md generation) can enumerate everything that reproduces a
+table or figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import table4_rows
+from repro.experiments.instances import run_instance_typing
+from repro.experiments.levels import run_levels
+from repro.experiments.overall import run_overall
+from repro.experiments.popularity import figure2_rows
+from repro.experiments.prompting import run_prompting
+from repro.experiments.scalability import figure7_rows
+from repro.experiments.statistics import table1_rows
+from repro.hybrid.case_study import run_case_study
+from repro.questions.model import DatasetKind
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    paper_artifact: str
+    runner: Callable
+    description: str
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "T1": ExperimentSpec(
+        "T1", "Table 1", lambda config=None: table1_rows(),
+        "Taxonomy statistics: entities, levels, trees, widths"),
+    "F2": ExperimentSpec(
+        "F2", "Figure 2", lambda config=None: figure2_rows(),
+        "Taxonomy popularity by simulated web hit counts"),
+    "T4": ExperimentSpec(
+        "T4", "Table 4", table4_rows,
+        "Question dataset statistics per level"),
+    "T5": ExperimentSpec(
+        "T5", "Table 5",
+        lambda config=None: run_overall(DatasetKind.HARD, config),
+        "Overall results on hard datasets"),
+    "T6": ExperimentSpec(
+        "T6", "Table 6",
+        lambda config=None: run_overall(DatasetKind.EASY, config),
+        "Overall results on easy datasets"),
+    "T7": ExperimentSpec(
+        "T7", "Table 7",
+        lambda config=None: run_overall(DatasetKind.MCQ, config),
+        "Overall results on MCQ datasets"),
+    "F3": ExperimentSpec(
+        "F3", "Figure 3", run_levels,
+        "Per-level accuracy on hard datasets"),
+    "F4": ExperimentSpec(
+        "F4", "Figure 4",
+        lambda config=None: run_prompting(config),
+        "Prompting settings radar (zero/few-shot/CoT)"),
+    "F6": ExperimentSpec(
+        "F6", "Figure 6", run_instance_typing,
+        "Instance typing per level"),
+    "F7": ExperimentSpec(
+        "F7", "Figure 7", lambda config=None: figure7_rows(),
+        "Scalability of open-source series"),
+    "CS": ExperimentSpec(
+        "CS", "Section 5.3", lambda config=None: run_case_study(),
+        "Amazon hybrid-replacement case study"),
+}
+
+
+def run_experiment(exp_id: str,
+                   config: ExperimentConfig | None = None):
+    """Run an experiment by id ("T5", "F3", ...)."""
+    return EXPERIMENTS[exp_id].runner(config)

@@ -1,0 +1,39 @@
+"""Experiment F7 — scalability of the open-source model series.
+
+Reports, per series, each member's parameter count, modelled GPU RAM
+and per-question latency, plus the series' scaling-efficiency exponent
+(log time growth per log parameter growth).  The paper's qualitative
+claim — Flan-T5s, Vicunas and Llama-3s scale well — corresponds to
+small exponents.
+"""
+
+from __future__ import annotations
+
+from repro.llm.costs import scaling_efficiency, series_cost_table
+
+
+def figure7_rows() -> list[dict[str, object]]:
+    """One row per open-source model, grouped by series."""
+    rows = []
+    for series, estimates in series_cost_table().items():
+        for estimate in estimates:
+            rows.append({
+                "series": series,
+                "model": estimate.model,
+                "params_b": estimate.params_b,
+                "gpu_ram_gb": round(estimate.gpu_ram_gb, 1),
+                "sec_per_question": estimate.seconds_per_question,
+            })
+    return rows
+
+
+def efficiency_summary() -> dict[str, float]:
+    """Series -> scaling exponent (lower = better scalability)."""
+    return {series: round(scaling_efficiency(series), 3)
+            for series in series_cost_table()}
+
+
+def well_scaling_series(threshold: float = 0.45) -> list[str]:
+    """Series whose latency grows clearly sub-linearly with size."""
+    return [series for series, exponent in efficiency_summary().items()
+            if exponent < threshold]

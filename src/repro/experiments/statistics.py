@@ -1,0 +1,35 @@
+"""Experiment T1 — taxonomy statistics (paper Table 1).
+
+Reports, per taxonomy, the spec shape (the exact Table 1 numbers the
+synthetic generators target) next to the materialized shape (what was
+actually generated under the level cap), so the reproduction makes the
+scale substitution explicit.
+"""
+
+from __future__ import annotations
+
+from repro.generators.base import DEFAULT_LEVEL_CAP
+from repro.generators.registry import ALL_SPECS, build_taxonomy
+from repro.taxonomy.stats import compute_statistics
+
+
+def table1_rows(level_cap: int = DEFAULT_LEVEL_CAP,
+                scale: float = 1.0) -> list[dict[str, object]]:
+    """One row per taxonomy: spec vs materialized shape."""
+    rows = []
+    for spec in ALL_SPECS:
+        taxonomy = build_taxonomy(spec.key, scale=scale,
+                                  level_cap=level_cap)
+        stats = compute_statistics(taxonomy)
+        rows.append({
+            "domain": spec.domain.value,
+            "taxonomy": spec.display_name,
+            "entities (paper)": spec.num_entities,
+            "entities (built)": stats.num_entities,
+            "levels": stats.num_levels,
+            "trees": stats.num_trees,
+            "widths (paper)": "-".join(str(w)
+                                       for w in spec.level_widths),
+            "widths (built)": stats.widths_label,
+        })
+    return rows

@@ -1,0 +1,76 @@
+"""Template paraphrase-variant experiment (paper Section 2.2).
+
+The paper reports that slight paraphrases of the question templates
+("a kind of", "a sort of"; "suitable", "proper") do not change the
+conclusions and publishes the full variant runs in its repository.
+This module re-runs a (model, taxonomy) cell under all variants and
+summarizes the spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import EvaluationRunner
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.pools import default_pools
+from repro.questions.templates import (ADJECTIVE_VARIANTS,
+                                       RELATION_VARIANTS)
+
+
+@dataclass(frozen=True, slots=True)
+class VariantResult:
+    """Accuracy/miss per template variant for one cell."""
+
+    model: str
+    taxonomy_key: str
+    dataset: DatasetKind
+    wordings: tuple[str, ...]
+    accuracies: tuple[float, ...]
+    miss_rates: tuple[float, ...]
+
+    @property
+    def accuracy_spread(self) -> float:
+        return max(self.accuracies) - min(self.accuracies)
+
+    @property
+    def miss_spread(self) -> float:
+        return max(self.miss_rates) - min(self.miss_rates)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [{
+            "model": self.model,
+            "taxonomy": self.taxonomy_key,
+            "dataset": self.dataset.value,
+            "wording": wording,
+            "accuracy": round(accuracy, 3),
+            "miss_rate": round(miss, 3),
+        } for wording, accuracy, miss in zip(
+            self.wordings, self.accuracies, self.miss_rates)]
+
+
+def run_variants(model_name: str, taxonomy_key: str,
+                 dataset: DatasetKind = DatasetKind.HARD,
+                 sample_size: int | None = None) -> VariantResult:
+    """Evaluate one cell under every template paraphrase."""
+    pool = default_pools(
+        taxonomy_key, sample_size=sample_size).total_pool(dataset)
+    model = get_model(model_name)
+    wordings = (RELATION_VARIANTS if dataset is not DatasetKind.MCQ
+                else ADJECTIVE_VARIANTS)
+    accuracies = []
+    misses = []
+    for variant in range(len(wordings)):
+        runner = EvaluationRunner(variant=variant)
+        metrics = runner.evaluate(model, pool).metrics
+        accuracies.append(metrics.accuracy)
+        misses.append(metrics.miss_rate)
+    return VariantResult(
+        model=model_name,
+        taxonomy_key=taxonomy_key,
+        dataset=dataset,
+        wordings=tuple(wordings),
+        accuracies=tuple(accuracies),
+        miss_rates=tuple(misses),
+    )

@@ -1,0 +1,5 @@
+"""Terminal renderings of the paper's figures."""
+
+from repro.figures.ascii import bar_chart, line_chart, radar_table
+
+__all__ = ["bar_chart", "line_chart", "radar_table"]

@@ -1,0 +1,111 @@
+"""ASCII renderings of the paper's figures.
+
+The reproduction is terminal-first: Figure 2's bar chart, Figure 3's
+per-level line charts and Figure 4's radar charts are rendered as
+text so `python -m repro` and the benches can show the *figure*, not
+just its numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_FULL = "#"
+_EMPTY = "."
+
+
+def bar_chart(values: Mapping[str, float], width: int = 48,
+              title: str = "", log_scale: bool = False) -> str:
+    """Horizontal bar chart; one labelled bar per entry.
+
+    ``log_scale`` renders bars proportional to log10(value), which is
+    how Figure 2's hit counts (spanning 10^3..10^8) stay readable.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    scaled = {
+        label: (math.log10(value + 1.0) if log_scale else value)
+        for label, value in values.items()
+    }
+    top = max(scaled.values()) or 1.0
+    label_width = max(len(label) for label in values) + 1
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = round(scaled[label] / top * width)
+        bar = _FULL * filled + _EMPTY * (width - filled)
+        rendered = (f"{values[label]:,.0f}" if values[label] >= 10
+                    else f"{values[label]:.3f}")
+        lines.append(f"{label:<{label_width}}|{bar}| {rendered}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Mapping[str, Sequence[float]],
+               x_labels: Sequence[str], height: int = 12,
+               title: str = "", y_min: float = 0.0,
+               y_max: float = 1.0) -> str:
+    """Multi-series line chart on a character grid (Figure 3 style).
+
+    Each series gets a distinct marker; collisions show the later
+    series' marker.  Values are clamped into [y_min, y_max].
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the x-axis length")
+    if y_max <= y_min:
+        raise ValueError("y_max must exceed y_min")
+
+    markers = "ox*+@%&=~^"
+    column_width = max(max(len(label) for label in x_labels) + 1, 6)
+    grid = [[" "] * (column_width * len(x_labels))
+            for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, value in enumerate(values):
+            clamped = min(max(value, y_min), y_max)
+            rel = (clamped - y_min) / (y_max - y_min)
+            row = height - 1 - round(rel * (height - 1))
+            col = x * column_width + column_width // 2
+            grid[row][col] = marker
+    lines = [title] if title else []
+    for row_index, row in enumerate(grid):
+        rel = 1.0 - row_index / (height - 1)
+        y_value = y_min + rel * (y_max - y_min)
+        lines.append(f"{y_value:5.2f} |" + "".join(row))
+    axis = " " * 6 + "+" + "-" * (column_width * len(x_labels))
+    lines.append(axis)
+    lines.append(" " * 7 + "".join(
+        label.center(column_width) for label in x_labels))
+    legend = "  ".join(f"{markers[i % len(markers)]}={label}"
+                       for i, label in enumerate(series))
+    lines.append(" " * 7 + legend)
+    return "\n".join(lines)
+
+
+def radar_table(spokes: Sequence[str],
+                series: Mapping[str, Sequence[float]],
+                title: str = "") -> str:
+    """Figure 4's radar charts as an aligned spoke table.
+
+    A true polar plot adds nothing in a terminal; the spoke table
+    carries the same comparison (per-taxonomy values per setting).
+    """
+    if not series:
+        raise ValueError("radar_table needs at least one series")
+    for label, values in series.items():
+        if len(values) != len(spokes):
+            raise ValueError(
+                f"series {label!r} does not match the spoke count")
+    spoke_width = max(len(spoke) for spoke in spokes) + 2
+    name_width = max(len(label) for label in series) + 2
+    lines = [title] if title else []
+    lines.append(" " * name_width + "".join(
+        spoke.rjust(spoke_width) for spoke in spokes))
+    for label, values in series.items():
+        lines.append(f"{label:<{name_width}}" + "".join(
+            f"{value:.3f}".rjust(spoke_width) for value in values))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Synthetic taxonomy generators for the ten TaxoGlimpse taxonomies."""
+
+from repro.generators.base import (DEFAULT_LEVEL_CAP, TaxonomySpec,
+                                   generate_taxonomy, materialized_width)
+from repro.generators.registry import (ALL_SPECS, COMMON_KEYS,
+                                       SPECIALIZED_KEYS, TAXONOMY_KEYS,
+                                       build_all, build_taxonomy, get_spec)
+
+__all__ = [
+    "DEFAULT_LEVEL_CAP",
+    "TaxonomySpec",
+    "generate_taxonomy",
+    "materialized_width",
+    "ALL_SPECS",
+    "TAXONOMY_KEYS",
+    "COMMON_KEYS",
+    "SPECIALIZED_KEYS",
+    "build_all",
+    "build_taxonomy",
+    "get_spec",
+]

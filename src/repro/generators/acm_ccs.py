@@ -1,0 +1,44 @@
+"""ACM Computing Classification System (13 trees, 5 levels, 2113 nodes).
+
+Names are research-concept phrases ("Distributed algorithms",
+"Privacy-preserving query optimization") composed from a CS vocabulary,
+wordier as the level deepens, like the real CCS.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators.base import TaxonomySpec
+from repro.generators.lexicons import ACM_MODIFIERS, ACM_NOUNS, ACM_ROOTS
+from repro.taxonomy.node import Domain
+
+
+class AcmStyler:
+    """Sentence-case research concept phrases."""
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        if index < len(ACM_ROOTS):
+            return ACM_ROOTS[index]
+        noun = rng.choice(ACM_NOUNS)
+        return f"Emerging {noun}".capitalize()
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        modifier_count = 1 if level <= 2 else 2
+        modifiers = [rng.choice(ACM_MODIFIERS)
+                     for _ in range(modifier_count)]
+        noun = rng.choice(ACM_NOUNS)
+        phrase = " ".join([*modifiers, noun])
+        return phrase[0].upper() + phrase[1:]
+
+
+ACM_CCS_SPEC = TaxonomySpec(
+    key="acm_ccs",
+    display_name="ACM-CCS",
+    domain=Domain.COMPUTER_SCIENCE,
+    concept_noun="computer science research concept",
+    level_widths=(13, 84, 543, 1087, 386),
+    styler=AcmStyler(),
+    seed=0xACC5,
+)

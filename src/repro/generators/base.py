@@ -1,0 +1,146 @@
+"""Framework shared by the ten synthetic taxonomy generators.
+
+Each generator is a :class:`TaxonomySpec`: the exact per-level widths
+from the paper's Table 1, the domain, and a :class:`NameStyler` that
+produces domain-flavoured names.  :func:`generate_taxonomy` materializes
+a spec into a validated :class:`Taxonomy`:
+
+* level widths follow the spec, optionally scaled down (``scale``) and
+  capped (``level_cap``) so the 2.19M-node NCBI taxonomy stays
+  laptop-sized while keeping its shape;
+* children are attached to parents with Pareto-skewed weights, so some
+  branches are bushy and some parents are childless (intermediate
+  leaves), as in the real dumps;
+* all randomness comes from one ``random.Random(seed)`` stream, making
+  the output a pure function of ``(spec, scale, level_cap)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.generators.names import NamePool
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.node import Domain
+from repro.taxonomy.taxonomy import Taxonomy
+
+#: Default cap on materialized nodes per level; levels wider than this
+#: in the spec are subsampled.  20k per level keeps the whole suite of
+#: ten taxonomies near 100k nodes.
+DEFAULT_LEVEL_CAP = 20_000
+
+
+class NameStyler(Protocol):
+    """Produces candidate names; uniqueness is enforced by the caller."""
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        """Candidate name for root number ``index``."""
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        """Candidate name for a child at ``level`` under ``parent_name``."""
+
+
+@dataclass(frozen=True)
+class TaxonomySpec:
+    """Static description of one of the paper's taxonomies (Table 1)."""
+
+    key: str                     # registry key, e.g. "ncbi"
+    display_name: str            # paper column header, e.g. "NCBI"
+    domain: Domain
+    concept_noun: str            # used by question templates
+    level_widths: tuple[int, ...]
+    styler: NameStyler
+    seed: int
+
+    @property
+    def num_entities(self) -> int:
+        return sum(self.level_widths)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.level_widths)
+
+    @property
+    def num_trees(self) -> int:
+        return self.level_widths[0]
+
+
+def materialized_width(spec_width: int, scale: float,
+                       level_cap: int) -> int:
+    """Node count actually generated for a level of ``spec_width``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if level_cap <= 0:
+        raise ValueError("level_cap must be positive")
+    width = math.ceil(spec_width * scale)
+    return max(1, min(width, spec_width, level_cap))
+
+
+def generate_taxonomy(spec: TaxonomySpec, scale: float = 1.0,
+                      level_cap: int = DEFAULT_LEVEL_CAP) -> Taxonomy:
+    """Materialize ``spec`` into a validated taxonomy."""
+    rng = random.Random(spec.seed)
+    pool = NamePool()
+    builder = TaxonomyBuilder(spec.display_name, spec.domain,
+                              concept_noun=spec.concept_noun)
+    names: dict[str, str] = {}
+
+    previous_ids: list[str] = []
+    for index in range(materialized_width(spec.level_widths[0],
+                                          scale, level_cap)):
+        name = pool.claim(lambda: spec.styler.root_name(index, rng))
+        node_id = builder.add_root(name)
+        names[node_id] = name
+        previous_ids.append(node_id)
+
+    for level in range(1, len(spec.level_widths)):
+        count = materialized_width(spec.level_widths[level],
+                                   scale, level_cap)
+        parent_ids = _assign_parents(previous_ids, count, rng)
+        level_ids: list[str] = []
+        for index, parent_id in enumerate(parent_ids):
+            parent_name = names[parent_id]
+            name = pool.claim(
+                lambda: spec.styler.child_name(level, index,
+                                               parent_name, rng))
+            node_id = builder.add_child(parent_id, name)
+            names[node_id] = name
+            level_ids.append(node_id)
+        previous_ids = level_ids
+
+    return builder.build()
+
+
+#: Minimum average branching among parents that do get children.  Keeps
+#: siblings (and therefore the paper's "uncle" hard negatives) common
+#: even when a level is barely wider than the one above, by leaving the
+#: excess parents childless (intermediate leaves), as real dumps do.
+_TARGET_BRANCHING = 3
+
+
+def _assign_parents(parent_ids: list[str], child_count: int,
+                    rng: random.Random) -> list[str]:
+    """Pick a parent for each child, concentrating on a fertile subset.
+
+    Only ``child_count / _TARGET_BRANCHING`` parents (at least one)
+    receive children; each fertile parent gets one child, the remainder
+    follow Pareto weights so branch sizes vary like the real dumps.
+    """
+    fertile_count = max(1, min(len(parent_ids),
+                               math.ceil(child_count / _TARGET_BRANCHING)))
+    fertile = rng.sample(parent_ids, fertile_count)
+    assigned = list(fertile[:child_count])
+    remaining = child_count - len(assigned)
+    if remaining > 0:
+        # Bounded weights: branch sizes vary but stay near the target
+        # (heavy-tailed weights would create huge size-biased families,
+        # distorting uncle counts and the case-study sibling pools).
+        weights = [0.5 + 2.0 * rng.random() for _ in fertile]
+        assigned.extend(rng.choices(fertile, weights=weights,
+                                    k=remaining))
+    rng.shuffle(assigned)
+    return assigned

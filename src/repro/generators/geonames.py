@@ -1,0 +1,44 @@
+"""GeoNames feature-code taxonomy (9 feature classes, 680 codes).
+
+The real GeoNames taxonomy is two levels: feature classes (A, P, H, ...)
+over feature codes ("first-order administrative division", "abandoned
+canal").  Names follow the same lowercase descriptive style.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators.base import TaxonomySpec
+from repro.generators.lexicons import GEO_MODIFIERS, GEO_NOUNS, GEO_ROOTS
+from repro.taxonomy.node import Domain
+
+
+class GeoNamesStyler:
+    """Feature-class roots over "modifier noun" feature codes."""
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        if index < len(GEO_ROOTS):
+            return GEO_ROOTS[index]
+        return f"{rng.choice(GEO_MODIFIERS)} feature class".capitalize()
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        modifier = rng.choice(GEO_MODIFIERS)
+        noun = rng.choice(GEO_NOUNS)
+        if rng.random() < 0.25:
+            second = rng.choice(GEO_MODIFIERS)
+            if second != modifier:
+                return f"{modifier} {second} {noun}"
+        return f"{modifier} {noun}"
+
+
+GEONAMES_SPEC = TaxonomySpec(
+    key="geonames",
+    display_name="GeoNames",
+    domain=Domain.GEOGRAPHY,
+    concept_noun="geographical concept",
+    level_widths=(9, 680),
+    styler=GeoNamesStyler(),
+    seed=0x6E0,
+)

@@ -1,0 +1,239 @@
+"""Domain vocabularies used by the synthetic taxonomy generators.
+
+Top-level names copy the flavour of the real taxonomies (real root
+categories where they are public knowledge); deeper names are composed
+from the noun/modifier pools below.  Only *shape and surface form*
+matter for the benchmark: the question generator and the simulated
+models never depend on the identity of a concept, just on the tree
+around it and the textual overlap between related names.
+"""
+
+from __future__ import annotations
+
+SHOPPING_ROOTS = [
+    "Electronics", "Home & Garden", "Clothing & Accessories",
+    "Sporting Goods", "Toys & Hobbies", "Health & Beauty", "Automotive",
+    "Books & Magazines", "Music", "Office Products", "Pet Supplies",
+    "Baby Products", "Jewelry & Watches", "Tools & Home Improvement",
+    "Grocery & Gourmet Food", "Appliances", "Arts & Crafts",
+    "Cell Phones & Plans", "Computers & Tablets", "Video Games",
+    "Furniture", "Shoes", "Luggage & Travel Gear", "Industrial Supplies",
+    "Software", "Musical Instruments", "Camera & Photo",
+    "Outdoor Recreation", "Kitchen & Dining", "Patio & Lawn",
+    "Collectibles", "Smart Home Devices", "Lighting", "Bedding & Bath",
+    "Storage & Organization", "Party Supplies", "Craft Supplies",
+    "Antiques", "Business Equipment", "Real Estate Services",
+    "Gift Cards",
+]
+
+SHOPPING_NOUNS = [
+    "chargers", "cables", "headphones", "speakers", "keyboards",
+    "monitors", "printers", "cameras", "lenses", "tripods", "drones",
+    "batteries", "adapters", "cases", "stands", "mounts", "sofas",
+    "tables", "chairs", "desks", "shelves", "lamps", "rugs", "curtains",
+    "blankets", "pillows", "mattresses", "cookware", "bakeware",
+    "knives", "utensils", "blenders", "mixers", "kettles", "toasters",
+    "jackets", "sweaters", "dresses", "jeans", "boots", "sandals",
+    "sneakers", "backpacks", "wallets", "belts", "scarves", "gloves",
+    "rackets", "balls", "bats", "helmets", "gloves sets", "weights",
+    "treadmills", "bicycles", "tents", "sleeping bags", "coolers",
+    "fishing rods", "puzzles", "dolls", "action figures", "board games",
+    "building blocks", "vitamins", "supplements", "shampoos", "lotions",
+    "razors", "brushes", "tires", "wipers", "filters", "spark plugs",
+    "notebooks", "pens", "pencils", "markers", "staplers", "binders",
+    "envelopes", "leashes", "aquariums", "bird feeders", "cat trees",
+    "strollers", "car seats", "cribs", "bottles", "necklaces", "rings",
+    "bracelets", "earrings", "drills", "saws", "hammers", "wrenches",
+    "screwdrivers", "sanders", "coffee beans", "teas", "snacks",
+    "sauces", "spices", "guitars", "violins", "drums", "amplifiers",
+]
+
+SHOPPING_MODIFIERS = [
+    "wireless", "portable", "rechargeable", "ergonomic", "adjustable",
+    "foldable", "stainless steel", "ceramic", "bamboo", "leather",
+    "cotton", "wool", "waterproof", "insulated", "heavy duty",
+    "compact", "professional", "vintage", "modern", "classic", "smart",
+    "digital", "analog", "electric", "manual", "cordless", "outdoor",
+    "indoor", "kids", "travel", "gaming", "studio", "premium",
+    "eco-friendly", "reusable", "disposable", "magnetic", "LED",
+    "solar", "mini", "oversized", "slim", "padded", "non-stick",
+]
+
+SCHEMA_STEMS = [
+    "Action", "Event", "Place", "Person", "Organization", "Product",
+    "CreativeWork", "Intangible", "MedicalEntity", "BioChemEntity",
+    "Taxon", "Offer", "Review", "Rating", "Audience", "Brand",
+    "Service", "Trip", "Reservation", "Role", "Quantity", "Enumeration",
+    "StructuredValue", "Schedule", "Order", "Invoice", "Demand",
+    "Grant", "Occupation", "Season", "Episode", "Clip", "Game", "Menu",
+    "Recipe", "Article", "Report", "Book", "Movie", "Dataset", "Map",
+    "Course", "Project", "Vehicle", "Accommodation", "Residence",
+    "Store", "Payment", "Delivery", "Contact",
+]
+
+SCHEMA_PREFIXES = [
+    "Achieve", "Assess", "Consume", "Control", "Create", "Find",
+    "Interact", "Move", "Organize", "Play", "Search", "Trade",
+    "Transfer", "Update", "Web", "Local", "Medical", "Financial",
+    "Educational", "Government", "Sports", "Music", "Radio", "TV",
+    "Digital", "Physical", "Aggregate", "Auto", "Child", "Exercise",
+    "Food", "Health", "Home", "Legal", "Lodging", "News", "Social",
+    "Travel", "Virtual", "Completed", "Pending", "Failed",
+]
+
+ACM_ROOTS = [
+    "General and reference", "Hardware", "Computer systems organization",
+    "Networks", "Software and its engineering", "Theory of computation",
+    "Mathematics of computing", "Information systems",
+    "Security and privacy", "Human-centered computing",
+    "Computing methodologies", "Applied computing",
+    "Social and professional topics",
+]
+
+ACM_NOUNS = [
+    "algorithms", "architectures", "protocols", "models", "semantics",
+    "verification", "optimization", "learning", "retrieval", "indexing",
+    "compilers", "languages", "databases", "storage", "caching",
+    "scheduling", "routing", "consistency", "replication", "recovery",
+    "visualization", "interfaces", "interaction", "graphics",
+    "vision", "recognition", "parsing", "translation", "generation",
+    "cryptography", "authentication", "privacy", "testing", "debugging",
+    "synthesis", "simulation", "benchmarking", "provenance", "mining",
+    "clustering", "classification", "regression", "inference",
+    "reasoning", "planning", "search", "compression", "streaming",
+    "virtualization", "concurrency",
+]
+
+ACM_MODIFIERS = [
+    "distributed", "parallel", "probabilistic", "approximate", "online",
+    "incremental", "adaptive", "scalable", "secure", "robust",
+    "neural", "symbolic", "statistical", "logical", "formal",
+    "empirical", "quantum", "embedded", "real-time", "mobile",
+    "graph-based", "declarative", "relational", "spatial", "temporal",
+    "multimodal", "federated", "self-supervised", "energy-aware",
+    "hardware-aware", "privacy-preserving", "fault-tolerant",
+]
+
+GEO_ROOTS = [
+    "Administrative region", "Populated place", "Hydrographic feature",
+    "Hypsographic feature", "Vegetation feature", "Spot feature",
+    "Road and railroad", "Undersea feature", "Area feature",
+]
+
+GEO_NOUNS = [
+    "division", "capital", "settlement", "village", "stream", "lake",
+    "reservoir", "canal", "spring", "marsh", "glacier", "bay", "strait",
+    "mountain", "hill", "valley", "plateau", "ridge", "peak", "cliff",
+    "pass", "plain", "desert", "forest", "grove", "scrubland", "oasis",
+    "station", "junction", "bridge", "tunnel", "harbor", "port",
+    "airfield", "mine", "quarry", "farm", "estate", "ruin", "monument",
+    "trench", "seamount", "shoal", "reef", "basin", "delta", "island",
+    "archipelago", "lagoon", "fjord",
+]
+
+GEO_MODIFIERS = [
+    "first-order", "second-order", "third-order", "fourth-order",
+    "abandoned", "seasonal", "intermittent", "artificial", "coastal",
+    "inland", "alpine", "subalpine", "volcanic", "karst", "tidal",
+    "freshwater", "saline", "historical", "populated", "destroyed",
+    "underground", "elevated", "dependent", "free-standing",
+]
+
+LANGUAGE_SUFFIXES = ["an", "ese", "ic", "ish", "i", "ean", "ara", "uan"]
+
+ICD_SYSTEMS = [
+    "circulatory system", "respiratory system", "digestive system",
+    "nervous system", "musculoskeletal system", "genitourinary system",
+    "skin and subcutaneous tissue", "eye and adnexa",
+    "ear and mastoid process", "blood and blood-forming organs",
+    "endocrine system", "mental and behavioural disorders",
+    "infectious and parasitic diseases", "neoplasms",
+    "pregnancy and childbirth", "perinatal period",
+    "congenital malformations", "injury and poisoning",
+    "external causes of morbidity", "symptoms and signs",
+    "factors influencing health status", "codes for special purposes",
+]
+
+ICD_CONDITIONS = [
+    "stenosis", "insufficiency", "occlusion", "embolism", "thrombosis",
+    "aneurysm", "fibrillation", "infarction", "ischaemia",
+    "inflammation", "infection", "ulcer", "lesion", "atrophy",
+    "hypertrophy", "dysplasia", "neoplasm", "carcinoma", "adenoma",
+    "sclerosis", "fibrosis", "stenopathy", "neuropathy", "myopathy",
+    "dermatitis", "arthritis", "bronchitis", "gastritis", "nephritis",
+    "hepatitis", "colitis", "sinusitis", "otitis", "conjunctivitis",
+    "fracture", "dislocation", "sprain", "contusion", "laceration",
+    "degeneration", "malformation", "obstruction", "perforation",
+    "prolapse", "rupture", "syndrome", "disorder", "deficiency",
+]
+
+ICD_MODIFIERS = [
+    "acute", "chronic", "recurrent", "congenital", "acquired",
+    "bilateral", "unilateral", "primary", "secondary", "benign",
+    "malignant", "unspecified", "viral", "bacterial", "fungal",
+    "toxic", "traumatic", "idiopathic", "hereditary", "juvenile",
+    "senile", "postprocedural", "drug-induced", "radiation-induced",
+    "severe", "moderate", "mild", "diffuse", "focal", "generalized",
+]
+
+ICD_CAUSES = [
+    "due to viral agents", "due to bacterial agents",
+    "due to medication", "due to trauma", "due to radiation",
+    "due to autoimmune response", "due to metabolic imbalance",
+    "due to genetic mutation", "due to occupational exposure",
+    "due to unknown cause", "following surgery", "following infection",
+    "in diseases classified elsewhere", "with complications",
+    "without complications", "with haemorrhage", "in remission",
+]
+
+OAE_SITES = [
+    "cardiac", "vascular", "respiratory", "gastrointestinal", "hepatic",
+    "renal", "neurological", "psychiatric", "dermatological", "ocular",
+    "auditory", "musculoskeletal", "haematological", "immune",
+    "endocrine", "metabolic", "reproductive", "urinary", "lymphatic",
+    "oral", "nasal", "pharyngeal", "thoracic", "abdominal", "pelvic",
+    "cutaneous", "mucosal", "systemic", "behavioural", "nutritional",
+]
+
+OAE_EVENTS = [
+    "pain", "swelling", "bleeding", "rash", "lesion", "spasm",
+    "inflammation", "necrosis", "oedema", "eruption", "discharge",
+    "obstruction", "hypertrophy", "atrophy", "dysfunction", "failure",
+    "arrest", "arrhythmia", "hypotension", "hypertension", "fever",
+    "fatigue", "nausea", "dizziness", "headache", "tremor", "seizure",
+    "paralysis", "numbness", "weakness", "infection", "ulceration",
+    "irritation", "discoloration", "pruritus", "erythema",
+]
+
+OAE_QUALIFIERS = [
+    "mild", "moderate", "severe", "acute", "chronic", "transient",
+    "persistent", "recurrent", "localized", "generalized",
+    "dose-dependent", "delayed-onset", "early-onset", "intermittent",
+    "progressive", "reversible", "irreversible", "grade 1", "grade 2",
+    "grade 3",
+]
+
+NCBI_ROOTS = [
+    "Bacteria", "Archaea", "Eukaryota", "Viruses", "Viridiplantae",
+    "Metazoa", "Fungi", "Alveolata", "Amoebozoa", "Apusozoa",
+    "Breviatea", "Cryptophyceae", "Discoba", "Glaucocystophyceae",
+    "Haptista", "Heterolobosea", "Jakobida", "Malawimonadida",
+    "Metamonada", "Opisthokonta", "Rhizaria", "Rhodophyta",
+    "Stramenopiles", "Picozoa", "Provora", "Sar", "Telonemida",
+    "Choanoflagellata", "Filasterea", "Ichthyosporea", "Rotosphaerida",
+    "Anaeramoebae", "Ancyromonadida", "CRuMs", "Hemimastigophora",
+    "Duplornaviricota", "Kitrinoviricota", "Lenarviricota",
+    "Negarnaviricota", "Pisuviricota", "Nucleocytoviricota",
+    "Peploviricota", "Uroviricota", "Hofneiviricota", "Phixviricota",
+    "Cossaviricota", "Cressdnaviricota", "Saleviricota",
+    "Taleaviricota", "Dividoviricota", "Artverviricota",
+    "Preplasmiviricota", "Ambiviricota",
+]
+
+NCBI_LEVEL_SUFFIXES = {
+    1: ["ophyta", "omycota", "ozoa", "obacteria", "archaeota",
+        "oviricota"],
+    2: ["opsida", "omycetes", "ophyceae", "obacteriia", "ia", "oviricetes"],
+    3: ["ales", "formes", "ida", "oviricales"],
+    4: ["aceae", "idae", "oviridae"],
+}

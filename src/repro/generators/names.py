@@ -1,0 +1,139 @@
+"""Deterministic synthetic name forging.
+
+The offline substitute for the real taxonomy dumps needs names that
+
+* are deterministic given a seed (reproducible benchmarks),
+* look like the domain they imitate (Latin binomials, CamelCase types,
+  retail category phrases, ...), and
+* reproduce the *surface-form overlap* properties the paper leans on
+  when explaining results (NCBI species names embed the genus name, OAE
+  child concepts embed the parent concept name).
+
+``WordForge`` produces pronounceable pseudo-words from syllables;
+``PhraseForge`` produces unique phrases from vocabularies, falling back
+to extra modifiers and finally roman-numeral suffixes when a pool is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ONSETS = [
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gl", "gr",
+    "h", "k", "kr", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s",
+    "sc", "sh", "st", "str", "t", "th", "tr", "v", "z",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "au", "ea", "ei", "io", "ou"]
+_CODAS = ["", "", "", "l", "m", "n", "r", "s", "t", "x", "nd", "rn", "st"]
+
+
+class WordForge:
+    """Generates pronounceable pseudo-words from a private RNG stream."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def word(self, min_syllables: int = 2, max_syllables: int = 3,
+             suffix: str = "") -> str:
+        """A lowercase pseudo-word, optionally with a fixed suffix."""
+        count = self._rng.randint(min_syllables, max_syllables)
+        parts = []
+        for index in range(count):
+            onset = self._rng.choice(_ONSETS)
+            nucleus = self._rng.choice(_NUCLEI)
+            # Only the final syllable takes a coda; keeps words smooth.
+            coda = self._rng.choice(_CODAS) if index == count - 1 else ""
+            parts.append(onset + nucleus + coda)
+        return "".join(parts) + suffix
+
+    def proper(self, min_syllables: int = 2, max_syllables: int = 3,
+               suffix: str = "") -> str:
+        """A capitalized pseudo-word (proper noun)."""
+        return self.word(min_syllables, max_syllables, suffix).capitalize()
+
+
+_ROMAN = ["II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X",
+          "XI", "XII", "XIII", "XIV", "XV"]
+
+
+class NamePool:
+    """Tracks used names and disambiguates collisions deterministically.
+
+    Call :meth:`claim` with a candidate factory; the pool retries the
+    factory a few times, then appends roman numerals, guaranteeing a
+    unique result without unbounded loops.
+    """
+
+    def __init__(self, max_retries: int = 8):
+        self._used: set[str] = set()
+        self._max_retries = max_retries
+
+    def __len__(self) -> int:
+        return len(self._used)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._used
+
+    def claim(self, factory) -> str:
+        """Return a unique name produced by ``factory()``."""
+        candidate = factory()
+        retries = 0
+        while candidate in self._used and retries < self._max_retries:
+            candidate = factory()
+            retries += 1
+        if candidate in self._used:
+            base = candidate
+            for numeral in _ROMAN:
+                candidate = f"{base} {numeral}"
+                if candidate not in self._used:
+                    break
+            else:  # pathological pool exhaustion: fall back to a counter
+                serial = len(self._used)
+                candidate = f"{base} {serial}"
+                while candidate in self._used:
+                    serial += 1
+                    candidate = f"{base} {serial}"
+        self._used.add(candidate)
+        return candidate
+
+
+class PhraseForge:
+    """Builds unique phrases from vocabulary lists.
+
+    The phrase shape grows with demand: ``noun``, then
+    ``modifier noun``, then ``modifier modifier noun`` — mirroring how
+    deep retail categories get wordier ("Mechanical Pencil Lead
+    Refills").
+    """
+
+    def __init__(self, rng: random.Random, nouns: list[str],
+                 modifiers: list[str], pool: NamePool | None = None):
+        if not nouns or not modifiers:
+            raise ValueError("nouns and modifiers must be non-empty")
+        self._rng = rng
+        self._nouns = nouns
+        self._modifiers = modifiers
+        self._pool = pool if pool is not None else NamePool()
+
+    def phrase(self, words: int = 2, tail: str = "") -> str:
+        """A unique phrase with ``words`` vocabulary words plus ``tail``."""
+
+        def factory() -> str:
+            picked = [self._rng.choice(self._modifiers)
+                      for _ in range(max(0, words - 1))]
+            picked.append(self._rng.choice(self._nouns))
+            text = " ".join(picked)
+            return f"{text} {tail}".strip() if tail else text
+
+        return self._pool.claim(factory)
+
+
+def title_case(text: str) -> str:
+    """Capitalize each word, preserving inner punctuation."""
+    return " ".join(part.capitalize() for part in text.split(" "))
+
+
+def camel_case(*parts: str) -> str:
+    """Join parts into a CamelCase identifier (Schema.org style)."""
+    return "".join(part[:1].upper() + part[1:] for part in parts if part)

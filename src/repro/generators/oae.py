@@ -1,0 +1,53 @@
+"""OAE — Ontology of Adverse Events (181 trees, 5 levels, 9547 nodes).
+
+The paper attributes the strong LLM performance on OAE to the high
+surface similarity between parent and child concept names near the
+leaves.  The generator reproduces that mechanically: the deeper the
+level, the more likely a child is "<qualifier> <parent name>"
+("cardiac arrhythmia AE" -> "severe cardiac arrhythmia AE").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators.base import TaxonomySpec
+from repro.generators.lexicons import (OAE_EVENTS, OAE_QUALIFIERS,
+                                       OAE_SITES)
+from repro.taxonomy.node import Domain
+
+#: Parent-name-reuse probability per child level (index 1..4).
+_REUSE_BY_LEVEL = {1: 0.35, 2: 0.55, 3: 0.75, 4: 0.9}
+
+
+def _fresh_event(rng: random.Random) -> str:
+    site = rng.choice(OAE_SITES)
+    event = rng.choice(OAE_EVENTS)
+    return f"{site} {event} AE"
+
+
+class OaeStyler:
+    """Adverse-event concepts with leafward parent-name containment."""
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        if index < len(OAE_SITES):
+            return f"{OAE_SITES[index]} adverse event"
+        return _fresh_event(rng)
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        reuse = _REUSE_BY_LEVEL.get(level, 0.5)
+        if rng.random() < reuse and len(parent_name) < 70:
+            return f"{rng.choice(OAE_QUALIFIERS)} {parent_name}"
+        return _fresh_event(rng)
+
+
+OAE_SPEC = TaxonomySpec(
+    key="oae",
+    display_name="OAE",
+    domain=Domain.MEDICAL,
+    concept_noun="Adverse Events concept",
+    level_widths=(181, 1854, 3817, 2587, 1108),
+    styler=OaeStyler(),
+    seed=0x0AE,
+)

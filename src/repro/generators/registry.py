@@ -1,0 +1,71 @@
+"""Registry of the ten TaxoGlimpse taxonomies.
+
+The registry is the single entry point downstream code uses; it keeps
+the paper's ordering (common domains first, specialized last — the
+order of every table's columns).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ReproError
+from repro.generators.acm_ccs import ACM_CCS_SPEC
+from repro.generators.base import (DEFAULT_LEVEL_CAP, TaxonomySpec,
+                                   generate_taxonomy)
+from repro.generators.geonames import GEONAMES_SPEC
+from repro.generators.glottolog import GLOTTOLOG_SPEC
+from repro.generators.icd10 import ICD10CM_SPEC
+from repro.generators.ncbi import NCBI_SPEC
+from repro.generators.oae import OAE_SPEC
+from repro.generators.schema_org import SCHEMA_SPEC
+from repro.generators.shopping import AMAZON_SPEC, EBAY_SPEC, GOOGLE_SPEC
+from repro.taxonomy.taxonomy import Taxonomy
+
+#: Paper column order (Tables 4-7): common -> specialized.
+ALL_SPECS: tuple[TaxonomySpec, ...] = (
+    EBAY_SPEC,
+    AMAZON_SPEC,
+    GOOGLE_SPEC,
+    SCHEMA_SPEC,
+    ACM_CCS_SPEC,
+    GEONAMES_SPEC,
+    GLOTTOLOG_SPEC,
+    ICD10CM_SPEC,
+    OAE_SPEC,
+    NCBI_SPEC,
+)
+
+TAXONOMY_KEYS: tuple[str, ...] = tuple(spec.key for spec in ALL_SPECS)
+
+#: Taxonomies the paper groups as "common" vs "specialized" (Fig. 2).
+COMMON_KEYS: tuple[str, ...] = ("ebay", "amazon", "google", "schema")
+SPECIALIZED_KEYS: tuple[str, ...] = (
+    "acm_ccs", "geonames", "glottolog", "icd10cm", "oae", "ncbi")
+
+_SPECS_BY_KEY = {spec.key: spec for spec in ALL_SPECS}
+_SPECS_BY_NAME = {spec.display_name: spec for spec in ALL_SPECS}
+
+
+def get_spec(key: str) -> TaxonomySpec:
+    """Spec by registry key ("ncbi") or display name ("NCBI")."""
+    spec = _SPECS_BY_KEY.get(key) or _SPECS_BY_NAME.get(key)
+    if spec is None:
+        raise ReproError(
+            f"unknown taxonomy: {key!r} (known: {', '.join(TAXONOMY_KEYS)})")
+    return spec
+
+
+@lru_cache(maxsize=64)
+def build_taxonomy(key: str, scale: float = 1.0,
+                   level_cap: int = DEFAULT_LEVEL_CAP) -> Taxonomy:
+    """Materialize (and cache) the synthetic taxonomy for ``key``."""
+    return generate_taxonomy(get_spec(key), scale=scale,
+                             level_cap=level_cap)
+
+
+def build_all(scale: float = 1.0,
+              level_cap: int = DEFAULT_LEVEL_CAP) -> dict[str, Taxonomy]:
+    """All ten taxonomies keyed by registry key, paper order."""
+    return {key: build_taxonomy(key, scale, level_cap)
+            for key in TAXONOMY_KEYS}

@@ -1,0 +1,53 @@
+"""Schema.org-style general taxonomy (3 trees, 6 levels, 1346 types).
+
+Names are CamelCase type identifiers.  Children compose a prefix with
+the trailing token of the parent name ("Action" -> "TradeAction" ->
+"BuyTradeAction"-style), mirroring how Schema.org types specialize.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.generators.base import TaxonomySpec
+from repro.generators.lexicons import SCHEMA_PREFIXES, SCHEMA_STEMS
+from repro.generators.names import WordForge
+from repro.taxonomy.node import Domain
+
+_ROOTS = ["Thing", "DataType", "Meta"]
+_CAMEL_TOKEN = re.compile(r"[A-Z][a-z0-9]*")
+
+
+def camel_tail(name: str, max_tokens: int = 2) -> str:
+    """Last CamelCase tokens of ``name`` (keeps child names bounded)."""
+    tokens = _CAMEL_TOKEN.findall(name)
+    if not tokens:
+        return name
+    return "".join(tokens[-max_tokens:])
+
+
+class SchemaStyler:
+    """CamelCase type names that embed the parent's trailing token."""
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        if index < len(_ROOTS):
+            return _ROOTS[index]
+        return WordForge(rng).proper() + "Root"
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        if level == 1:
+            return rng.choice(SCHEMA_STEMS)
+        return rng.choice(SCHEMA_PREFIXES) + camel_tail(parent_name)
+
+
+SCHEMA_SPEC = TaxonomySpec(
+    key="schema",
+    display_name="Schema",
+    domain=Domain.GENERAL,
+    concept_noun="entity type",
+    level_widths=(3, 17, 215, 403, 436, 272),
+    styler=SchemaStyler(),
+    seed=0x5C7E3A,
+)

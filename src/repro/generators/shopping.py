@@ -1,0 +1,73 @@
+"""Shopping taxonomies: eBay, Amazon, Google Product Category.
+
+Shapes come from Table 1.  Names mimic retail categories: real-world
+top-level departments, then "Wireless Headphones"-style phrases.  A
+third of the children extend their parent's name with a modifier, which
+mirrors real product trees ("Headphones" -> "Wireless Headphones") and
+gives the simulated models' surface-form heuristic something realistic
+to work with.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators.base import TaxonomySpec
+from repro.generators.lexicons import (SHOPPING_MODIFIERS, SHOPPING_NOUNS,
+                                       SHOPPING_ROOTS)
+from repro.generators.names import WordForge, title_case
+from repro.taxonomy.node import Domain
+
+
+class ShoppingStyler:
+    """Retail category names with moderate parent-name reuse."""
+
+    #: Probability that a child name extends the parent name.
+    parent_reuse = 0.3
+
+    def root_name(self, index: int, rng: random.Random) -> str:
+        if index < len(SHOPPING_ROOTS):
+            return SHOPPING_ROOTS[index]
+        return title_case(WordForge(rng).word()) + " Department"
+
+    def child_name(self, level: int, index: int, parent_name: str,
+                   rng: random.Random) -> str:
+        if rng.random() < self.parent_reuse and len(parent_name) < 42:
+            modifier = title_case(rng.choice(SHOPPING_MODIFIERS))
+            return f"{modifier} {parent_name}"
+        word_count = 1 if level == 1 else (2 if level <= 3 else 3)
+        modifiers = [rng.choice(SHOPPING_MODIFIERS)
+                     for _ in range(word_count - 1)]
+        noun = rng.choice(SHOPPING_NOUNS)
+        return title_case(" ".join([*modifiers, noun]))
+
+
+EBAY_SPEC = TaxonomySpec(
+    key="ebay",
+    display_name="eBay",
+    domain=Domain.SHOPPING,
+    concept_noun="products",
+    level_widths=(13, 110, 472),
+    styler=ShoppingStyler(),
+    seed=0xEBA1,
+)
+
+AMAZON_SPEC = TaxonomySpec(
+    key="amazon",
+    display_name="Amazon",
+    domain=Domain.SHOPPING,
+    concept_noun="products",
+    level_widths=(41, 507, 3910, 13579, 25777),
+    styler=ShoppingStyler(),
+    seed=0xA3A2,
+)
+
+GOOGLE_SPEC = TaxonomySpec(
+    key="google",
+    display_name="Google",
+    domain=Domain.SHOPPING,
+    concept_noun="products",
+    level_widths=(21, 192, 1349, 2203, 1830),
+    styler=ShoppingStyler(),
+    seed=0x600613,
+)

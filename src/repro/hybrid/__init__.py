@@ -1,0 +1,26 @@
+"""LLM-tree-combined taxonomy and the Section 5.3 case study."""
+
+from repro.hybrid.case_study import (CaseStudyConfig, CaseStudyResult,
+                                     run_case_study,
+                                     spec_maintenance_saving)
+from repro.hybrid.hybrid_taxonomy import HybridTaxonomy, MaintenanceSaving
+from repro.hybrid.sweep import (SweepPoint, saving_at_precision,
+                                sweep_cut_levels)
+from repro.hybrid.membership import (DEFAULT_FALSE_POSITIVE_RATE,
+                                     DEFAULT_RECALL_RATE,
+                                     MembershipModel)
+
+__all__ = [
+    "HybridTaxonomy",
+    "SweepPoint",
+    "sweep_cut_levels",
+    "saving_at_precision",
+    "MaintenanceSaving",
+    "MembershipModel",
+    "DEFAULT_RECALL_RATE",
+    "DEFAULT_FALSE_POSITIVE_RATE",
+    "CaseStudyConfig",
+    "CaseStudyResult",
+    "run_case_study",
+    "spec_maintenance_saving",
+]

@@ -1,0 +1,107 @@
+"""The Amazon taxonomy-replacement case study (paper Section 5.3).
+
+Level-4-and-below concepts of the Amazon Product Category are replaced
+by an LLM while root..level-3 stay explicit.  For each sampled removed
+concept the pipeline:
+
+1. merges the concept's products with its siblings' products (the
+   surviving level-3 parent's full inventory, e.g. all "Stationery"
+   products),
+2. asks the (simulated) Llama-2-70B filter to return the products that
+   belong under the removed concept, and
+3. scores precision/recall of the returned list.
+
+The paper reports precision 0.713, recall 0.792 and a 59% maintenance
+saving (25777 of 43814 entities removed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import fmean
+
+from repro.core.metrics import RetrievalMetrics, retrieval_metrics
+from repro.generators.products import products_for_node
+from repro.generators.registry import build_taxonomy, get_spec
+from repro.hybrid.membership import MembershipModel
+from repro.stats.sampling import cochran_sample_size
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyConfig:
+    """Parameters of the replacement experiment."""
+
+    taxonomy_key: str = "amazon"
+    cut_level: int = 3              # keep root..level-3 explicit
+    products_per_concept: int = 6
+    sample_size: int | None = None  # None = Cochran 95%/5%
+    membership: MembershipModel = field(default_factory=MembershipModel)
+    seed: str = "case-study"
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyResult:
+    """Aggregate outcome of the replacement experiment."""
+
+    precision: float
+    recall: float
+    f1: float
+    maintenance_saving: float
+    concepts_evaluated: int
+    per_concept: tuple[RetrievalMetrics, ...] = ()
+
+
+def spec_maintenance_saving(taxonomy_key: str, cut_level: int) -> float:
+    """Fraction of *spec* entities removed (paper's 59% for Amazon)."""
+    widths = get_spec(taxonomy_key).level_widths
+    removed = sum(widths[cut_level + 1:])
+    return removed / sum(widths)
+
+
+def run_case_study(config: CaseStudyConfig | None = None,
+                   taxonomy: Taxonomy | None = None,
+                   keep_per_concept: bool = False) -> CaseStudyResult:
+    """Execute the Section 5.3 pipeline and score it."""
+    if config is None:
+        config = CaseStudyConfig()
+    if taxonomy is None:
+        taxonomy = build_taxonomy(config.taxonomy_key)
+
+    removed_level = config.cut_level + 1
+    concepts = taxonomy.nodes_at_level(removed_level)
+    sample_size = config.sample_size
+    if sample_size is None:
+        sample_size = cochran_sample_size(len(concepts))
+    sample_size = min(sample_size, len(concepts))
+    rng = random.Random(f"{config.seed}|{config.taxonomy_key}")
+    sampled = rng.sample(concepts, sample_size)
+
+    scores: list[RetrievalMetrics] = []
+    for concept in sampled:
+        members = products_for_node(taxonomy, concept.node_id,
+                                    config.products_per_concept,
+                                    seed=config.seed)
+        others: list[str] = []
+        for sibling in taxonomy.siblings(concept.node_id):
+            others.extend(products_for_node(
+                taxonomy, sibling.node_id,
+                config.products_per_concept, seed=config.seed))
+        retrieved = config.membership.filter_products(
+            concept.name, members, others)
+        scores.append(retrieval_metrics(retrieved, set(members)))
+
+    precision = fmean(score.precision for score in scores)
+    recall = fmean(score.recall for score in scores)
+    f1 = (0.0 if precision + recall == 0.0
+          else 2.0 * precision * recall / (precision + recall))
+    return CaseStudyResult(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        maintenance_saving=spec_maintenance_saving(
+            config.taxonomy_key, config.cut_level),
+        concepts_evaluated=len(sampled),
+        per_concept=tuple(scores) if keep_per_concept else (),
+    )

@@ -1,0 +1,112 @@
+"""The LLM-tree-combined taxonomy (paper Section 5.1).
+
+The paper's proposed "next-generation taxonomy" keeps the levels near
+the root as an explicit tree (for display, visualization and reliable
+shallow reasoning) and delegates everything below a *cut level* to an
+LLM.  :class:`HybridTaxonomy` implements that form:
+
+* explicit navigation (`parent`, `children`, `nodes_at_level`) works
+  down to the cut level exactly as on a full :class:`Taxonomy`;
+* concepts below the cut are *virtual*: `locate` maps a removed
+  concept's query string to its surviving ancestor by asking the LLM
+  supertype questions against the explicit frontier, and `search`
+  retrieves instances by LLM membership filtering (the Section 5.3
+  pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TaxonomyError
+from repro.llm.base import ChatModel
+from repro.llm.parsing import parse_true_false
+from repro.questions.model import Answer
+from repro.questions.templates import true_false_prompt
+from repro.taxonomy.node import TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class MaintenanceSaving:
+    """How much of the tree the hybrid form stops maintaining."""
+
+    removed_entities: int
+    total_entities: int
+
+    @property
+    def fraction(self) -> float:
+        if self.total_entities == 0:
+            return 0.0
+        return self.removed_entities / self.total_entities
+
+
+class HybridTaxonomy:
+    """A taxonomy whose deep levels are replaced by an LLM."""
+
+    def __init__(self, taxonomy: Taxonomy, cut_level: int,
+                 model: ChatModel):
+        if cut_level < 0 or cut_level >= taxonomy.num_levels:
+            raise TaxonomyError(
+                f"cut level {cut_level} outside 0.."
+                f"{taxonomy.num_levels - 1}")
+        self.base = taxonomy
+        self.cut_level = cut_level
+        self.model = model
+        self._explicit = {node.node_id for node in taxonomy
+                          if node.level <= cut_level}
+
+    # ------------------------------------------------------------------
+    # Explicit part
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._explicit
+
+    def __len__(self) -> int:
+        return len(self._explicit)
+
+    @property
+    def saving(self) -> MaintenanceSaving:
+        """Construction/maintenance saving of the replacement."""
+        return MaintenanceSaving(
+            removed_entities=len(self.base) - len(self._explicit),
+            total_entities=len(self.base))
+
+    def node(self, node_id: str) -> TaxonomyNode:
+        if node_id not in self._explicit:
+            raise TaxonomyError(
+                f"{node_id} lies below the cut level and is virtual")
+        return self.base.node(node_id)
+
+    def parent(self, node_id: str) -> TaxonomyNode | None:
+        return self.base.parent(self.node(node_id).node_id)
+
+    def children(self, node_id: str) -> list[TaxonomyNode]:
+        """Explicit children only; empty at the cut frontier."""
+        return [child for child in self.base.children(node_id)
+                if child.node_id in self._explicit]
+
+    def frontier(self) -> list[TaxonomyNode]:
+        """The deepest explicit nodes (candidates for LLM hand-off)."""
+        return self.base.nodes_at_level(self.cut_level)
+
+    # ------------------------------------------------------------------
+    # Virtual part: LLM-backed navigation
+    # ------------------------------------------------------------------
+    def locate(self, concept_name: str,
+               candidates: list[TaxonomyNode] | None = None
+               ) -> TaxonomyNode | None:
+        """Find the frontier concept that supertypes ``concept_name``.
+
+        Asks the LLM a True/False supertype question per candidate
+        (the case study's "ask about the parent concept of the query"
+        step) and returns the first confirmed candidate.
+        """
+        pool = candidates if candidates is not None else self.frontier()
+        for candidate in pool:
+            prompt = true_false_prompt(self.base.domain, concept_name,
+                                       candidate.name)
+            answer = parse_true_false(self.model.generate(prompt))
+            if answer is Answer.YES:
+                return candidate
+        return None

@@ -1,0 +1,60 @@
+"""Simulated LLM product-membership filtering (case study substrate).
+
+The case study asks Llama-2-70B to pick, out of a merged product list,
+the products that belong under a removed leaf concept.  Offline the
+filter is a calibrated deterministic classifier:
+
+* a product that truly belongs under the concept is kept with
+  probability ``recall_rate`` (the paper's measured recall, 0.792);
+* a sibling product leaks in with probability ``false_positive_rate``
+  (0.14 — calibrated so that with the Amazon tree's ~2.9 siblings per
+  concept the mean per-concept precision lands at the paper's 0.713).
+
+Draws are keyed on (model, product, concept): re-running the case
+study, or asking about the same product twice, always gives the same
+verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.rng import unit_float
+
+#: Paper-measured recall of the Llama-2-70B filter (Section 5.3).
+DEFAULT_RECALL_RATE = 0.792
+#: Leak-in rate calibrated against the paper's 0.713 precision.
+DEFAULT_FALSE_POSITIVE_RATE = 0.14
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipModel:
+    """Deterministic calibrated membership classifier."""
+
+    model_name: str = "Llama-2-70B"
+    recall_rate: float = DEFAULT_RECALL_RATE
+    false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE
+
+    def __post_init__(self) -> None:
+        for value, label in ((self.recall_rate, "recall_rate"),
+                             (self.false_positive_rate,
+                              "false_positive_rate")):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+
+    def keeps(self, product: str, concept: str,
+              is_member: bool) -> bool:
+        """Does the simulated filter keep ``product`` under ``concept``?"""
+        rate = (self.recall_rate if is_member
+                else self.false_positive_rate)
+        return unit_float(self.model_name, "member", concept,
+                          product) < rate
+
+    def filter_products(self, concept: str, members: list[str],
+                        others: list[str]) -> set[str]:
+        """The retrieved set over the merged product list."""
+        kept = {product for product in members
+                if self.keeps(product, concept, True)}
+        kept.update(product for product in others
+                    if self.keeps(product, concept, False))
+        return kept

@@ -1,0 +1,136 @@
+"""Cut-level sweep: the paper's "replace more layers" extension.
+
+Section 5.3 closes with: "Note that we may replace more layers to
+achieve lower taxonomy construction and maintenance costs" at some
+accuracy price.  This module makes that trade-off measurable: it runs
+the case-study pipeline at every possible cut level and reports the
+(saving, precision, recall) frontier.
+
+Shallower cuts replace more of the tree (higher saving) but force the
+LLM filter to discriminate within much larger merged product pools
+(descendants of a higher surviving ancestor), so precision decays —
+the crossover the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.core.metrics import retrieval_metrics
+from repro.generators.products import products_for_node
+from repro.generators.registry import build_taxonomy, get_spec
+from repro.hybrid.case_study import spec_maintenance_saving
+from repro.hybrid.membership import MembershipModel
+from repro.taxonomy.taxonomy import Taxonomy
+
+#: Pool-dilution exponent: how fast the filter's false-positive rate
+#: grows as the merged pool fans out beyond direct siblings.  Each
+#: extra level between the removed concept and the surviving ancestor
+#: multiplies confusable neighbours; the filter leaks proportionally.
+_DILUTION_PER_LEVEL = 1.35
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """The replacement trade-off at one cut level."""
+
+    cut_level: int
+    maintenance_saving: float
+    precision: float
+    recall: float
+    concepts_evaluated: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "cut level": self.cut_level,
+            "saving": f"{self.maintenance_saving:.0%}",
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+        }
+
+
+def _pool_for(taxonomy: Taxonomy, concept_id: str, cut_level: int,
+              per_concept: int, seed: str) -> tuple[list[str],
+                                                    list[str], int]:
+    """(member products, competitor products, dilution levels).
+
+    The surviving ancestor at ``cut_level`` serves the query; its
+    *other* deepest descendants contribute the competitor pool.  To
+    keep the sweep tractable the competitor pool is subsampled to the
+    sibling count times the fan-out ratio, while the dilution level
+    count feeds the leak model.
+    """
+    node = taxonomy.node(concept_id)
+    ancestors = taxonomy.ancestors(concept_id)
+    survivor = next(a for a in ancestors if a.level == cut_level)
+    dilution = node.level - cut_level - 1
+
+    members = products_for_node(taxonomy, concept_id, per_concept,
+                                seed=seed)
+    rng = random.Random(f"{seed}|pool|{concept_id}|{cut_level}")
+    competitors: list[str] = []
+    competitor_nodes = [d for d in taxonomy.descendants(
+        survivor.node_id)
+        if d.level == node.level and d.node_id != concept_id]
+    cap = 24  # bound pool size; dilution is modelled, not enumerated
+    if len(competitor_nodes) > cap:
+        competitor_nodes = rng.sample(competitor_nodes, cap)
+    for other in competitor_nodes:
+        competitors.extend(products_for_node(
+            taxonomy, other.node_id, per_concept, seed=seed))
+    return members, competitors, dilution
+
+
+def sweep_cut_levels(taxonomy_key: str = "amazon",
+                     sample_size: int = 120,
+                     products_per_concept: int = 6,
+                     membership: MembershipModel | None = None,
+                     seed: str = "cut-sweep") -> list[SweepPoint]:
+    """Evaluate the replacement at every cut level of the taxonomy."""
+    taxonomy = build_taxonomy(taxonomy_key)
+    if membership is None:
+        membership = MembershipModel()
+    removed_level = taxonomy.num_levels - 1
+    concepts = taxonomy.nodes_at_level(removed_level)
+    rng = random.Random(f"{seed}|{taxonomy_key}")
+    sampled = rng.sample(concepts, min(sample_size, len(concepts)))
+
+    points = []
+    for cut_level in range(taxonomy.num_levels - 2, -1, -1):
+        precisions = []
+        recalls = []
+        for concept in sampled:
+            members, competitors, dilution = _pool_for(
+                taxonomy, concept.node_id, cut_level,
+                products_per_concept, seed)
+            leak = min(0.95, membership.false_positive_rate
+                       * _DILUTION_PER_LEVEL ** dilution)
+            diluted = MembershipModel(
+                model_name=membership.model_name,
+                recall_rate=membership.recall_rate,
+                false_positive_rate=leak)
+            retrieved = diluted.filter_products(
+                concept.name, members, competitors)
+            metrics = retrieval_metrics(retrieved, set(members))
+            precisions.append(metrics.precision)
+            recalls.append(metrics.recall)
+        points.append(SweepPoint(
+            cut_level=cut_level,
+            maintenance_saving=spec_maintenance_saving(
+                taxonomy_key, cut_level),
+            precision=fmean(precisions),
+            recall=fmean(recalls),
+            concepts_evaluated=len(sampled),
+        ))
+    return points
+
+
+def saving_at_precision(points: list[SweepPoint],
+                        floor: float) -> SweepPoint | None:
+    """Deepest saving whose precision stays at or above ``floor``."""
+    acceptable = [point for point in points if point.precision >= floor]
+    if not acceptable:
+        return None
+    return max(acceptable, key=lambda point: point.maintenance_saving)

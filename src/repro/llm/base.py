@@ -1,0 +1,63 @@
+"""The chat-model interface every backend implements.
+
+Real endpoints (OpenAI, Anthropic, a local HF pipeline) and the
+calibrated simulators plug in behind the same two members: a ``name``
+and ``generate(prompt) -> str``.  The evaluation harness knows nothing
+else about its models.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ChatModel(Protocol):
+    """Minimal LLM interface used by the harness."""
+
+    name: str
+
+    def generate(self, prompt: str) -> str:
+        """Return the model's raw text response to ``prompt``."""
+        ...
+
+
+class BaseChatModel(ABC):
+    """Convenience base class with a usage counter.
+
+    Subclasses implement :meth:`_respond`; the public :meth:`generate`
+    wraps it with prompt-count bookkeeping that the scalability
+    experiment and the tests use.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("model name must be non-empty")
+        self.name = name
+        self.prompts_served = 0
+
+    def generate(self, prompt: str) -> str:
+        if not prompt or not prompt.strip():
+            raise ValueError("prompt must be non-empty")
+        self.prompts_served += 1
+        return self._respond(prompt)
+
+    @abstractmethod
+    def _respond(self, prompt: str) -> str:
+        """Produce the response text for one prompt."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class StaticResponder:
+    """A trivial ChatModel returning a fixed string (test double)."""
+
+    name: str
+    response: str
+
+    def generate(self, prompt: str) -> str:
+        return self.response

@@ -1,0 +1,82 @@
+"""Inference cost model (paper Figure 7 scalability study).
+
+The paper measures GPU RAM and mean per-question latency on 8x RTX 3090
+plus 4x A100.  Offline, both are modelled analytically:
+
+* RAM ~= fp16 weights (2 bytes/parameter) plus ~6% runtime overhead —
+  this matches the embedded figure anchors, and the model is exposed
+  so the relationship is testable;
+* latency comes from the embedded per-model anchors, which encode the
+  figure's qualitative story (encoder-decoder Flan-T5s are fastest,
+  Falcon-40B is disproportionately slow, Llama-3-70B and Vicuna-33B
+  scale sub-linearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_figures import SCALABILITY, SERIES_MEMBERS
+from repro.errors import ModelError
+
+_BYTES_PER_PARAM_FP16 = 2.0
+_RUNTIME_OVERHEAD = 1.065
+
+
+@dataclass(frozen=True, slots=True)
+class CostEstimate:
+    """Deployment cost card for one open-source model."""
+
+    model: str
+    params_b: float
+    gpu_ram_gb: float
+    seconds_per_question: float
+
+    @property
+    def questions_per_hour(self) -> float:
+        return 3600.0 / self.seconds_per_question
+
+
+def fp16_ram_gb(params_b: float) -> float:
+    """Analytic fp16 deployment RAM for a dense parameter count."""
+    if params_b <= 0:
+        raise ValueError("params_b must be positive")
+    return params_b * _BYTES_PER_PARAM_FP16 * _RUNTIME_OVERHEAD
+
+
+def cost_estimate(model: str) -> CostEstimate:
+    """Figure 7 cost card for ``model`` (open-source models only)."""
+    if model not in SCALABILITY:
+        raise ModelError(
+            f"no scalability data for {model!r} (API models were not "
+            f"profiled by the paper)")
+    params_b, ram_gb, seconds = SCALABILITY[model]
+    return CostEstimate(model, params_b, ram_gb, seconds)
+
+
+def series_cost_table() -> dict[str, list[CostEstimate]]:
+    """Figure 7's per-series panels: estimates in ascending size."""
+    return {series: [cost_estimate(member) for member in members]
+            for series, members in SERIES_MEMBERS.items()}
+
+
+def scaling_efficiency(series: str) -> float:
+    """Latency growth per parameter growth across a series.
+
+    Values near (or below) zero mean "good scalability" in the paper's
+    sense: inference time barely grows as the model size grows.
+    Computed as log(time ratio) / log(param ratio) between the largest
+    and smallest members.
+    """
+    import math
+
+    table = series_cost_table()
+    if series not in table:
+        raise ModelError(f"unknown series: {series!r}")
+    estimates = table[series]
+    if len(estimates) < 2:
+        raise ModelError(f"series {series!r} has a single member")
+    small, large = estimates[0], estimates[-1]
+    return (math.log(large.seconds_per_question
+                     / small.seconds_per_question)
+            / math.log(large.params_b / small.params_b))

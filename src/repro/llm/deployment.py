@@ -1,0 +1,128 @@
+"""GPU deployment planning (paper Section 3.2 substrate).
+
+The paper deployed its open-source models on 8x GeForce RTX 3090
+(24 GB) plus 4x NVIDIA A100 (80 GB).  This module plans such
+deployments: given a GPU fleet and a set of models with fp16 RAM
+requirements, it assigns each model a tensor-parallel shard set using
+first-fit-decreasing packing, preferring the fewest GPUs per model.
+
+Used by the scalability experiment to answer "does this model fit the
+paper's testbed, and on how many cards?" — and usable standalone as a
+capacity-planning utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.llm.costs import cost_estimate
+
+#: Fraction of a GPU's RAM usable for weights (activations, KV cache
+#: and CUDA context take the rest).
+USABLE_FRACTION = 0.9
+
+
+@dataclass(frozen=True, slots=True)
+class Gpu:
+    """One accelerator in the fleet."""
+
+    name: str
+    ram_gb: float
+
+    @property
+    def usable_gb(self) -> float:
+        return self.ram_gb * USABLE_FRACTION
+
+
+def paper_fleet() -> list[Gpu]:
+    """The paper's testbed: 8x RTX 3090 (24 GB) + 4x A100 (80 GB)."""
+    fleet = [Gpu(f"rtx3090-{i}", 24.0) for i in range(8)]
+    fleet += [Gpu(f"a100-{i}", 80.0) for i in range(4)]
+    return fleet
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Where one model's shards live."""
+
+    model: str
+    ram_gb: float
+    gpus: tuple[str, ...]
+
+    @property
+    def tensor_parallel(self) -> int:
+        return len(self.gpus)
+
+
+@dataclass(slots=True)
+class DeploymentPlan:
+    """A full fleet assignment."""
+
+    placements: list[Placement] = field(default_factory=list)
+    unplaced: list[str] = field(default_factory=list)
+    load_gb: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.unplaced
+
+    def placement_for(self, model: str) -> Placement:
+        for placement in self.placements:
+            if placement.model == model:
+                return placement
+        raise ModelError(f"{model!r} is not placed in this plan")
+
+    def as_rows(self) -> list[dict[str, object]]:
+        return [{
+            "model": placement.model,
+            "ram_gb": round(placement.ram_gb, 1),
+            "gpus": " ".join(placement.gpus),
+            "tensor_parallel": placement.tensor_parallel,
+        } for placement in self.placements]
+
+
+def plan_deployment(models: list[str],
+                    fleet: list[Gpu] | None = None) -> DeploymentPlan:
+    """Place models on a fleet, big models first.
+
+    Each model is sharded evenly over the smallest homogeneous GPU
+    group that fits it (1, 2, 4, ... cards of the same type); shards
+    stack on GPUs that still have head-room.
+    """
+    if fleet is None:
+        fleet = paper_fleet()
+    plan = DeploymentPlan(load_gb={gpu.name: 0.0 for gpu in fleet})
+    by_gpu = {gpu.name: gpu for gpu in fleet}
+    needs = sorted(
+        ((name, cost_estimate(name).gpu_ram_gb) for name in models),
+        key=lambda pair: pair[1], reverse=True)
+
+    for model, ram_gb in needs:
+        placed = _place_one(model, ram_gb, by_gpu, plan)
+        if placed is None:
+            plan.unplaced.append(model)
+        else:
+            plan.placements.append(placed)
+    return plan
+
+
+def _place_one(model: str, ram_gb: float, by_gpu: dict[str, Gpu],
+               plan: DeploymentPlan) -> Placement | None:
+    for shard_count in (1, 2, 4, 8):
+        per_shard = ram_gb / shard_count
+        candidates = [
+            gpu.name for gpu in by_gpu.values()
+            if gpu.usable_gb - plan.load_gb[gpu.name] >= per_shard
+        ]
+        if len(candidates) < shard_count:
+            continue
+        # Prefer the fullest GPUs that still fit (best-fit packing).
+        candidates.sort(
+            key=lambda name: by_gpu[name].usable_gb
+            - plan.load_gb[name])
+        chosen = tuple(candidates[:shard_count])
+        for name in chosen:
+            plan.load_gb[name] += per_shard
+        return Placement(model=model, ram_gb=ram_gb, gpus=chosen)
+    return None

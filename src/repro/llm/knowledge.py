@@ -1,0 +1,72 @@
+"""Surface-form knowledge: similarity measures and a heuristic baseline.
+
+The paper explains two anomalies — the NCBI species->genus uplift and
+OAE's overall strength — by the surface similarity between child and
+parent names.  This module makes the mechanism executable:
+
+* :func:`surface_similarity` scores name overlap (token Jaccard plus a
+  containment bonus), and
+* :class:`SurfaceHeuristicBaseline` is a 19th "model" that answers
+  *only* from name overlap, no knowledge at all.  Benchmarked next to
+  the calibrated models it isolates how much of the leaf-level
+  performance is surface form (the ablation bench for Finding 2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PromptError
+from repro.llm.base import BaseChatModel
+from repro.llm.prompt_parsing import parse_prompt
+from repro.questions.model import MCQ_LETTERS, QuestionType
+
+#: Similarity at or above which the heuristic answers "Yes".
+DEFAULT_THRESHOLD = 0.34
+
+
+def _tokens(name: str) -> set[str]:
+    return {token for token in name.lower().replace("-", " ").split()
+            if token}
+
+
+def surface_similarity(first: str, second: str) -> float:
+    """Name-overlap score in [0, 1].
+
+    Token Jaccard, with a 0.5 floor when one name contains the other
+    ("Verbascum" in "Verbascum chaixii" scores at least 0.5).
+    """
+    tokens_a, tokens_b = _tokens(first), _tokens(second)
+    if not tokens_a or not tokens_b:
+        return 0.0
+    jaccard = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+    lowered_a, lowered_b = first.lower(), second.lower()
+    if lowered_a in lowered_b or lowered_b in lowered_a:
+        return max(jaccard, 0.5)
+    return jaccard
+
+
+class SurfaceHeuristicBaseline(BaseChatModel):
+    """Answers hierarchy questions purely from name overlap.
+
+    Never abstains (zero miss rate, like Flan-T5).  Strong exactly
+    where the paper says surface form carries the signal (NCBI
+    species->genus, OAE leaves) and near chance elsewhere.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD):
+        super().__init__("SurfaceHeuristic")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+
+    def _respond(self, prompt: str) -> str:
+        try:
+            parsed = parse_prompt(prompt)
+        except PromptError:
+            return "No."
+        if parsed.qtype is QuestionType.MCQ:
+            scores = [surface_similarity(parsed.child_name, option)
+                      for option in parsed.options]
+            best = max(range(len(scores)), key=scores.__getitem__)
+            return f"{MCQ_LETTERS[best]}) {parsed.options[best]}"
+        score = surface_similarity(parsed.child_name, parsed.asked_name)
+        return "Yes." if score >= self.threshold else "No."

@@ -1,0 +1,154 @@
+"""Model profiles: calibrated answering parameters per model.
+
+A profile binds one of the paper's eighteen models to
+
+* its reported (accuracy, miss-rate) anchors from Tables 5-7,
+* the root-to-leaf shape of Figure 3,
+* the prompting-setting effects of Figure 4, and
+* card data (series, parameter count, architecture, tuning style)
+  used by the scalability and ablation experiments.
+
+The per-question-kind decomposition: the easy dataset is half
+positives, half easy negatives, and the paper's positive questions are
+shared between the easy and hard datasets.  Taking the positive
+accuracy equal to the easy-dataset accuracy makes the easy set
+consistent by construction and pins the hard-negative accuracy at
+``2 * hard - easy`` (clamped), so both reported dataset means are
+reproduced by one coherent set of per-kind probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_figures import (LEVEL_SHAPES, PROMPTING_EFFECTS,
+                                      latent_accuracy)
+from repro.data.paper_tables import PAPER_RESULTS
+from repro.errors import CalibrationError
+from repro.llm.oracle import Resolution
+from repro.llm.prompting import PromptSetting
+from repro.questions.model import QuestionKind, QuestionType
+
+_ACC_FLOOR, _ACC_CEIL = 0.01, 0.99
+#: Above this miss rate the reported accuracy pins the conditional
+#: accuracy too loosely; the profile's latent accuracy takes over.
+_MISS_PINNED = 0.95
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+@dataclass(frozen=True, slots=True)
+class ModelProfile:
+    """Static calibration card for one simulated model."""
+
+    name: str
+    series: str
+    params_b: float | None          # None for API-only models
+    open_source: bool
+    architecture: str               # "decoder" | "encoder-decoder" | "moe" | "api"
+    tuning: str                     # "chat" | "instruct" | "domain-agnostic" | "domain-specific" | "api"
+    fewshot_miss_factor: float
+    cot_miss_factor: float
+    latent_accuracy: float
+    response_style: str             # "terse" | "verbose"
+
+    # ------------------------------------------------------------------
+    # Anchors
+    # ------------------------------------------------------------------
+    def cell(self, dataset: str, taxonomy_key: str) -> tuple[float, float]:
+        """The paper's (accuracy, miss) for this model/dataset/taxonomy.
+
+        Custom taxonomies (absent from the paper) fall back to the
+        model's average behaviour across the ten paper taxonomies, so
+        user-supplied taxonomies still get a plausible simulation.
+        """
+        try:
+            rows = PAPER_RESULTS[dataset][self.name]
+        except KeyError as exc:
+            raise CalibrationError(
+                f"no paper anchors for {self.name}/{dataset}") from exc
+        if taxonomy_key in rows:
+            return rows[taxonomy_key]
+        cells = list(rows.values())
+        accuracy = sum(cell[0] for cell in cells) / len(cells)
+        miss = sum(cell[1] for cell in cells) / len(cells)
+        return accuracy, miss
+
+    def kind_params(self, kind: QuestionKind,
+                    taxonomy_key: str) -> tuple[float, float]:
+        """Per-question-kind (accuracy, miss) before level shaping."""
+        easy_a, easy_m = self.cell("easy", taxonomy_key)
+        if kind in (QuestionKind.POSITIVE, QuestionKind.NEGATIVE_EASY):
+            return easy_a, easy_m
+        if kind is QuestionKind.NEGATIVE_HARD:
+            hard_a, hard_m = self.cell("hard", taxonomy_key)
+            acc = _clamp(2.0 * hard_a - easy_a, _ACC_FLOOR, _ACC_CEIL)
+            miss = _clamp(2.0 * hard_m - easy_m, 0.0, 1.0)
+            return acc, miss
+        if kind is QuestionKind.MCQ:
+            return self.cell("mcq", taxonomy_key)
+        raise CalibrationError(f"unknown question kind: {kind}")
+
+    def question_params(self,
+                        resolution: Resolution) -> tuple[float, float]:
+        """(accuracy, miss) for one resolved question, level-shaped."""
+        acc, miss = self.kind_params(resolution.kind,
+                                     resolution.taxonomy_key)
+        shape = LEVEL_SHAPES.get(resolution.taxonomy_key, (0.0,))
+        acc = _clamp(acc + shape[resolution.shape_level],
+                     _ACC_FLOOR, _ACC_CEIL)
+        if acc + miss > 1.0:
+            miss = 1.0 - acc
+        return acc, miss
+
+    # ------------------------------------------------------------------
+    # Behaviour under prompting settings and decomposition to a policy
+    # ------------------------------------------------------------------
+    def conditional_accuracy(self, acc: float, miss: float) -> float:
+        """P(correct | answered) — intrinsic knowledge, setting-free."""
+        if miss >= _MISS_PINNED:
+            return self.latent_accuracy
+        return _clamp(acc / (1.0 - miss), 0.0, 1.0)
+
+    def miss_under(self, miss: float, setting: PromptSetting) -> float:
+        """Miss rate after applying the prompting-setting effect."""
+        if setting is PromptSetting.ZERO_SHOT:
+            return miss
+        factor = (self.fewshot_miss_factor
+                  if setting is PromptSetting.FEW_SHOT
+                  else self.cot_miss_factor)
+        return _clamp(miss * factor, 0.0, 0.999)
+
+    def policy(self, resolution: Resolution,
+               setting: PromptSetting) -> tuple[float, float]:
+        """(miss probability, conditional accuracy) for one question.
+
+        The conditional accuracy is independent of the setting, which
+        is what makes few-shot mostly *redistribute* mass from "I don't
+        know" to best guesses instead of creating knowledge
+        (paper Finding 4).
+        """
+        acc, miss = self.question_params(resolution)
+        conditional = self.conditional_accuracy(acc, miss)
+        return self.miss_under(miss, setting), conditional
+
+
+def make_profile(name: str, series: str, params_b: float | None,
+                 architecture: str, tuning: str,
+                 response_style: str = "terse") -> ModelProfile:
+    """Build a profile wiring in the paper-derived behaviour tables."""
+    fewshot, cot = PROMPTING_EFFECTS[name]
+    return ModelProfile(
+        name=name,
+        series=series,
+        params_b=params_b,
+        open_source=architecture != "api",
+        architecture=architecture,
+        tuning=tuning,
+        fewshot_miss_factor=fewshot,
+        cot_miss_factor=cot,
+        latent_accuracy=latent_accuracy(name),
+        response_style=response_style,
+    )

@@ -1,0 +1,128 @@
+"""Inverse template parsing: from prompt text back to question parts.
+
+The simulated models receive nothing but the prompt string — exactly
+like a real endpoint — so they must recover the child concept, the
+candidate parent (or the MCQ options), the domain hint carried by the
+template's wrapper words, and the prompting setting, all by inverting
+the Table 2/3 templates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import PromptError
+from repro.llm.prompting import COT_SUFFIX
+from repro.questions.model import QuestionType
+from repro.questions.templates import (ADJECTIVE_VARIANTS,
+                                       RELATION_VARIANTS)
+from repro.taxonomy.node import Domain
+
+#: Wrapper suffixes per domain, longest first so specific ones win.
+#: Health and Biology templates have no wrapper (empty suffix).
+_TF_SUFFIXES: tuple[tuple[Domain, str], ...] = (
+    (Domain.COMPUTER_SCIENCE, " computer science research concept"),
+    (Domain.MEDICAL, " Adverse Events concept"),
+    (Domain.GEOGRAPHY, " geographical concept"),
+    (Domain.GENERAL, " entity type"),
+    (Domain.SHOPPING, " products"),
+    (Domain.LANGUAGE, " language"),
+)
+
+_MCQ_SUFFIXES: tuple[tuple[Domain, str], ...] = (
+    (Domain.MEDICAL, " Adverse Events concept"),
+    (Domain.GEOGRAPHY, " geographical concept"),
+    (Domain.COMPUTER_SCIENCE, " research concept"),
+    (Domain.GENERAL, " entity type"),
+    (Domain.SHOPPING, " product"),
+    (Domain.LANGUAGE, " language"),
+)
+
+_TF_RE = re.compile(
+    r"^(?:Is|Are)\s+(?P<child>.+?)\s+"
+    r"(?P<relation>" + "|".join(re.escape(r) for r in RELATION_VARIANTS)
+    + r")\s+(?P<parent>.+?)\?\s*answer with \(Yes/No/I don't know\)",
+    re.DOTALL)
+
+_MCQ_RE = re.compile(
+    r"^What is the most (?P<adjective>"
+    + "|".join(ADJECTIVE_VARIANTS)
+    + r") supertype of (?P<subject>.+?)\?\s*"
+    r"A\)\s*(?P<a>.+?)\s+B\)\s*(?P<b>.+?)\s+C\)\s*(?P<c>.+?)\s+"
+    r"D\)\s*(?P<d>.+?)\s*$",
+    re.DOTALL)
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedPrompt:
+    """Everything a model can learn from the prompt text alone."""
+
+    qtype: QuestionType
+    child_name: str
+    asked_name: str | None = None        # True/False questions
+    options: tuple[str, ...] = field(default=())
+    domain_hint: Domain | None = None
+    cot: bool = False
+    shots: int = 0
+    variant: int = 0
+
+
+def _strip_wrapper(text: str,
+                   suffixes: tuple[tuple[Domain, str], ...]
+                   ) -> tuple[str, Domain | None]:
+    for domain, suffix in suffixes:
+        if suffix and text.endswith(suffix):
+            return text[: -len(suffix)], domain
+    return text, None
+
+
+def parse_prompt(prompt: str) -> ParsedPrompt:
+    """Invert a Table 2/3 template (with optional Fig. 5 decorations)."""
+    if not prompt or not prompt.strip():
+        raise PromptError("empty prompt")
+    cot = COT_SUFFIX.lower() in prompt.lower()
+    body = prompt
+    if cot:
+        index = prompt.lower().rfind(COT_SUFFIX.lower())
+        body = prompt[:index]
+    lines = [line for line in body.splitlines() if line.strip()]
+    shots = sum(1 for line in lines if line.startswith("Example:"))
+    question_line = lines[-1].strip()
+
+    mcq = _MCQ_RE.match(question_line)
+    if mcq:
+        child, domain = _strip_wrapper(mcq.group("subject"),
+                                       _MCQ_SUFFIXES)
+        return ParsedPrompt(
+            qtype=QuestionType.MCQ,
+            child_name=child,
+            options=(mcq.group("a"), mcq.group("b"), mcq.group("c"),
+                     mcq.group("d")),
+            domain_hint=domain,
+            cot=cot,
+            shots=shots,
+            variant=ADJECTIVE_VARIANTS.index(mcq.group("adjective")),
+        )
+
+    tf = _TF_RE.match(question_line)
+    if tf:
+        child, child_domain = _strip_wrapper(tf.group("child"),
+                                             _TF_SUFFIXES)
+        parent, parent_domain = _strip_wrapper(tf.group("parent"),
+                                               _TF_SUFFIXES)
+        if child_domain is not parent_domain:
+            raise PromptError(
+                f"inconsistent domain wrappers in prompt: {question_line!r}")
+        return ParsedPrompt(
+            qtype=QuestionType.TRUE_FALSE,
+            child_name=child,
+            asked_name=parent,
+            domain_hint=child_domain,
+            cot=cot,
+            shots=shots,
+            variant=RELATION_VARIANTS.index(tf.group("relation")),
+        )
+
+    raise PromptError(f"prompt does not match any template: "
+                      f"{question_line[:120]!r}")

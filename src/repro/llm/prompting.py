@@ -1,0 +1,80 @@
+"""Prompting settings: zero-shot, few-shot and Chain-of-Thoughts.
+
+Mirrors the paper's Figure 5:
+
+* **few-shot** prepends five exemplar question/answer pairs drawn from
+  the same taxonomy (positive and negative pairs with equal
+  probability, uncle negatives as in the figure);
+* **CoT** appends "Let's think step by step." after the question.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.questions.model import (Question, QuestionKind, QuestionType)
+from repro.questions.templates import render_question
+
+COT_SUFFIX = "Let's think step by step."
+FEW_SHOT_COUNT = 5
+
+
+class PromptSetting(str, Enum):
+    """The three prompting settings evaluated by the paper."""
+
+    ZERO_SHOT = "zero-shot"
+    FEW_SHOT = "few-shot"
+    COT = "cot"
+
+
+def few_shot_exemplars(pool_questions: tuple[Question, ...],
+                       target: Question,
+                       count: int = FEW_SHOT_COUNT) -> list[Question]:
+    """Pick exemplars for ``target`` from its pool, balanced pos/neg.
+
+    Exemplars never reuse the target's child entity, and positives and
+    negatives are interleaved (the paper samples them with equal
+    probability).  Deterministic per target question.
+    """
+    rng = random.Random(f"fewshot|{target.uid}")
+    positives = [q for q in pool_questions
+                 if q.kind is QuestionKind.POSITIVE
+                 and q.child_id != target.child_id
+                 and q.qtype is QuestionType.TRUE_FALSE]
+    negatives = [q for q in pool_questions
+                 if q.kind in (QuestionKind.NEGATIVE_HARD,
+                               QuestionKind.NEGATIVE_EASY)
+                 and q.child_id != target.child_id]
+    rng.shuffle(positives)
+    rng.shuffle(negatives)
+    exemplars: list[Question] = []
+    for index in range(count):
+        source = positives if index % 2 == 0 else negatives
+        fallback = negatives if index % 2 == 0 else positives
+        if source:
+            exemplars.append(source.pop())
+        elif fallback:
+            exemplars.append(fallback.pop())
+    return exemplars
+
+
+def _exemplar_block(exemplar: Question, variant: int) -> str:
+    answer = ("Yes." if exemplar.kind is QuestionKind.POSITIVE
+              else "No.")
+    return f"Example: {render_question(exemplar, variant)}\n{answer}"
+
+
+def build_prompt(question: Question, setting: PromptSetting,
+                 pool_questions: tuple[Question, ...] = (),
+                 variant: int = 0) -> str:
+    """Render the full prompt for ``question`` under ``setting``."""
+    text = render_question(question, variant)
+    if setting is PromptSetting.ZERO_SHOT:
+        return text
+    if setting is PromptSetting.COT:
+        return f"{text} {COT_SUFFIX}"
+    blocks = [_exemplar_block(exemplar, variant) for exemplar in
+              few_shot_exemplars(pool_questions, question)]
+    blocks.append(text)
+    return "\n".join(blocks)

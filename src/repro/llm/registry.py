@@ -1,0 +1,89 @@
+"""Registry of the eighteen evaluated models (paper Section 3.1).
+
+Profiles carry the series/size/tuning card used by the analysis
+experiments (model size scaling, domain-agnostic vs domain-specific
+fine-tuning) and are instantiated as :class:`SimulatedLLM` backends.
+The extra :class:`SurfaceHeuristicBaseline` ablation model is exposed
+separately and never counted among "the eighteen".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import UnknownModelError
+from repro.llm.knowledge import SurfaceHeuristicBaseline
+from repro.llm.oracle import TaxonomyOracle
+from repro.llm.profiles import ModelProfile, make_profile
+from repro.llm.simulated import SimulatedLLM
+
+#: name -> (series, params_b, architecture, tuning, style)
+_CARDS: dict[str, tuple[str, float | None, str, str, str]] = {
+    "GPT-3.5": ("GPTs", None, "api", "api", "verbose"),
+    "GPT-4": ("GPTs", None, "api", "api", "verbose"),
+    "Claude-3": ("Claude", None, "api", "api", "verbose"),
+    "Llama-2-7B": ("Llama-2s", 7.0, "decoder", "chat", "terse"),
+    "Llama-2-13B": ("Llama-2s", 13.0, "decoder", "chat", "terse"),
+    "Llama-2-70B": ("Llama-2s", 70.0, "decoder", "chat", "terse"),
+    "Llama-3-8B": ("Llama-3s", 8.0, "decoder", "instruct", "terse"),
+    "Llama-3-70B": ("Llama-3s", 70.0, "decoder", "instruct", "terse"),
+    "Flan-T5-3B": ("Flan-T5s", 3.0, "encoder-decoder", "instruct",
+                   "terse"),
+    "Flan-T5-11B": ("Flan-T5s", 11.0, "encoder-decoder", "instruct",
+                    "terse"),
+    "Falcon-7B": ("Falcons", 7.0, "decoder", "instruct", "terse"),
+    "Falcon-40B": ("Falcons", 40.0, "decoder", "instruct", "terse"),
+    "Vicuna-7B": ("Vicunas", 7.0, "decoder", "domain-agnostic",
+                  "verbose"),
+    "Vicuna-13B": ("Vicunas", 13.0, "decoder", "domain-agnostic",
+                   "verbose"),
+    "Vicuna-33B": ("Vicunas", 33.0, "decoder", "domain-agnostic",
+                   "verbose"),
+    "Mistral": ("Mistrals", 7.0, "decoder", "instruct", "terse"),
+    "Mixtral": ("Mistrals", 46.7, "moe", "instruct", "terse"),
+    "LLMs4OL": ("LLMs4OL", 3.0, "encoder-decoder", "domain-specific",
+                "terse"),
+}
+
+MODEL_NAMES: tuple[str, ...] = tuple(_CARDS)
+
+#: Series groupings used by the size-scaling analysis (Section 4.3).
+SERIES: dict[str, tuple[str, ...]] = {
+    "GPTs": ("GPT-3.5", "GPT-4"),
+    "Llama-2s": ("Llama-2-7B", "Llama-2-13B", "Llama-2-70B"),
+    "Llama-3s": ("Llama-3-8B", "Llama-3-70B"),
+    "Flan-T5s": ("Flan-T5-3B", "Flan-T5-11B"),
+    "Falcons": ("Falcon-7B", "Falcon-40B"),
+    "Vicunas": ("Vicuna-7B", "Vicuna-13B", "Vicuna-33B"),
+    "Mistrals": ("Mistral", "Mixtral"),
+}
+
+
+def get_profile(name: str) -> ModelProfile:
+    """The calibration card for one of the eighteen models."""
+    if name not in _CARDS:
+        raise UnknownModelError(name, list(MODEL_NAMES))
+    series, params_b, architecture, tuning, style = _CARDS[name]
+    return make_profile(name, series, params_b, architecture, tuning,
+                        response_style=style)
+
+
+@lru_cache(maxsize=32)
+def get_model(name: str) -> SimulatedLLM:
+    """A (cached) simulated backend over the default oracle."""
+    return SimulatedLLM(get_profile(name))
+
+
+def make_model(name: str, oracle: TaxonomyOracle) -> SimulatedLLM:
+    """A simulated backend bound to a custom oracle (custom taxonomies)."""
+    return SimulatedLLM(get_profile(name), oracle=oracle)
+
+
+def all_models() -> list[SimulatedLLM]:
+    """All eighteen simulated models, paper order."""
+    return [get_model(name) for name in MODEL_NAMES]
+
+
+def surface_baseline() -> SurfaceHeuristicBaseline:
+    """The name-overlap ablation baseline (not one of the eighteen)."""
+    return SurfaceHeuristicBaseline()

@@ -1,0 +1,38 @@
+"""Deterministic hash-based randomness for the simulated models.
+
+Every stochastic decision a simulated model makes is a pure function of
+a tuple of string/int parts (model name, question identity, decision
+label).  SHA-256 gives uniform, platform-independent, seed-independent
+draws — the whole benchmark is exactly reproducible and no global RNG
+state is ever touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+
+def _digest(parts: tuple) -> bytes:
+    text = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).digest()
+
+
+def unit_float(*parts) -> float:
+    """A deterministic uniform draw in [0, 1) keyed by ``parts``."""
+    raw = int.from_bytes(_digest(parts)[:8], "big")
+    return raw / 2.0 ** 64
+
+
+def stable_index(length: int, *parts) -> int:
+    """A deterministic index into a sequence of ``length`` items."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return int(unit_float(*parts) * length)
+
+
+def stable_choice(items: Sequence, *parts):
+    """A deterministic pick from ``items`` keyed by ``parts``."""
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return items[stable_index(len(items), *parts)]

@@ -1,0 +1,119 @@
+"""The calibrated simulated LLM.
+
+``SimulatedLLM.generate`` walks the same path a real endpoint would
+force on the harness:
+
+1. parse the prompt text (no side channel — only the string),
+2. resolve the concepts against the taxonomy oracle ("pre-training
+   knowledge"),
+3. decide to abstain or answer using the profile's calibrated policy
+   (deterministic hash draws: the same fact always gets the same
+   answer, across datasets and prompting settings),
+4. render a free-form text response in the model's style, which the
+   harness must parse back.
+
+Unknown concepts (not in any taxonomy) yield an honest "I don't know.",
+like a real model probed about made-up entities would at temperature 0
+with a cautious system prompt.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PromptError
+from repro.llm.base import BaseChatModel
+from repro.llm.oracle import Resolution, TaxonomyOracle, default_oracle
+from repro.llm.profiles import ModelProfile
+from repro.llm.prompt_parsing import ParsedPrompt, parse_prompt
+from repro.llm.prompting import PromptSetting
+from repro.llm.rng import stable_choice, unit_float
+from repro.questions.model import MCQ_LETTERS, QuestionType
+
+_IDK_TEXTS = (
+    "I don't know.",
+    "I'm not sure, I don't know.",
+    "I don't know the answer to that.",
+)
+
+_YES_TERSE = ("Yes.", "Yes")
+_NO_TERSE = ("No.", "No")
+
+
+class SimulatedLLM(BaseChatModel):
+    """A deterministic, calibrated stand-in for one paper model."""
+
+    def __init__(self, profile: ModelProfile,
+                 oracle: TaxonomyOracle | None = None):
+        super().__init__(profile.name)
+        self.profile = profile
+        self._oracle = oracle if oracle is not None else default_oracle()
+
+    # ------------------------------------------------------------------
+    def _respond(self, prompt: str) -> str:
+        try:
+            parsed = parse_prompt(prompt)
+        except PromptError:
+            # Free-form prompt outside the benchmark templates.
+            return self._idk(prompt)
+        resolution = self._oracle.resolve(parsed)
+        if resolution is None:
+            return self._idk(parsed.child_name)
+        setting = self._setting(parsed)
+        miss, conditional = self.profile.policy(resolution, setting)
+
+        if unit_float(self.name, "miss", setting.value,
+                      resolution.taxonomy_key, resolution.child_ref,
+                      resolution.asked_ref) < miss:
+            return self._idk(resolution.child_ref)
+        knows = unit_float(self.name, "know", resolution.taxonomy_key,
+                           resolution.child_ref,
+                           resolution.asked_ref) < conditional
+        if resolution.qtype is QuestionType.MCQ:
+            return self._mcq_response(parsed, resolution, knows)
+        return self._tf_response(parsed, resolution, knows)
+
+    @staticmethod
+    def _setting(parsed: ParsedPrompt) -> PromptSetting:
+        if parsed.shots:
+            return PromptSetting.FEW_SHOT
+        if parsed.cot:
+            return PromptSetting.COT
+        return PromptSetting.ZERO_SHOT
+
+    # ------------------------------------------------------------------
+    # Response rendering
+    # ------------------------------------------------------------------
+    def _idk(self, key: str) -> str:
+        return stable_choice(_IDK_TEXTS, self.name, "idk", key)
+
+    def _tf_response(self, parsed: ParsedPrompt, resolution: Resolution,
+                     knows: bool) -> str:
+        say_yes = resolution.truth if knows else not resolution.truth
+        if self.profile.response_style == "verbose":
+            reasoning = ""
+            if parsed.cot:
+                reasoning = (f"Let's consider {parsed.child_name} and "
+                             f"{parsed.asked_name}. ")
+            if say_yes:
+                return (f"{reasoning}Yes, {parsed.child_name} is a type "
+                        f"of {parsed.asked_name}.")
+            return (f"{reasoning}No, {parsed.child_name} is not a type "
+                    f"of {parsed.asked_name}.")
+        pool = _YES_TERSE if say_yes else _NO_TERSE
+        return stable_choice(pool, self.name, "tf", resolution.child_ref,
+                             resolution.asked_ref)
+
+    def _mcq_response(self, parsed: ParsedPrompt,
+                      resolution: Resolution, knows: bool) -> str:
+        if knows and resolution.correct_option is not None:
+            index = resolution.correct_option
+        else:
+            wrong = [i for i in range(len(MCQ_LETTERS))
+                     if i != resolution.correct_option]
+            index = stable_choice(wrong, self.name, "mcq-wrong",
+                                  resolution.child_ref)
+        letter = MCQ_LETTERS[index]
+        option = parsed.options[index]
+        if self.profile.response_style == "verbose":
+            return (f"The most appropriate supertype is "
+                    f"{letter}) {option}.")
+        return f"{letter}) {option}"

@@ -1,0 +1,81 @@
+"""Loader for the Glottolog languoid table.
+
+Glottolog releases ship ``languoid.csv`` with (among others) the
+columns ``id``, ``parent_id``, ``name``.  Rows with an empty
+``parent_id`` are top-level language families; the paper keeps six
+levels, so deeper chains are truncated by re-attaching descendants at
+the cut (``max_levels``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import validate_taxonomy
+
+REQUIRED_COLUMNS = ("id", "parent_id", "name")
+PAPER_MAX_LEVELS = 6
+
+
+def parse_languoid_csv(text: str, name: str = "Glottolog",
+                       max_levels: int = PAPER_MAX_LEVELS) -> Taxonomy:
+    """Build a taxonomy from languoid.csv content."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or any(
+            column not in reader.fieldnames
+            for column in REQUIRED_COLUMNS):
+        raise TaxonomyError(
+            f"languoid csv must have columns {REQUIRED_COLUMNS}")
+    rows = {}
+    for row in reader:
+        languoid_id = row["id"].strip()
+        if not languoid_id:
+            continue
+        rows[languoid_id] = (row["parent_id"].strip() or None,
+                             row["name"].strip())
+    if not rows:
+        raise TaxonomyError("no languoids found")
+
+    def depth_of(languoid_id: str) -> int:
+        depth = 0
+        current = rows[languoid_id][0]
+        while current is not None:
+            if current not in rows or depth > len(rows):
+                raise TaxonomyError(
+                    f"broken parent chain at {languoid_id}")
+            depth += 1
+            current = rows[current][0]
+        return depth
+
+    nodes: dict[str, TaxonomyNode] = {}
+    for languoid_id, (parent_id, label) in rows.items():
+        depth = depth_of(languoid_id)
+        if depth >= max_levels:
+            continue  # truncate below the paper's six levels
+        nodes[languoid_id] = TaxonomyNode(
+            node_id=languoid_id, name=label, level=depth,
+            parent_id=parent_id)
+    for node in nodes.values():
+        if node.parent_id is not None:
+            if node.parent_id not in nodes:
+                raise TaxonomyError(
+                    f"{node.node_id}: parent {node.parent_id} missing")
+            nodes[node.parent_id].children_ids.append(node.node_id)
+
+    taxonomy = Taxonomy(name, Domain.LANGUAGE, nodes,
+                        concept_noun="language")
+    validate_taxonomy(taxonomy)
+    return taxonomy
+
+
+def load_glottolog_taxonomy(path: str | Path,
+                            max_levels: int = PAPER_MAX_LEVELS
+                            ) -> Taxonomy:
+    """Load a Glottolog languoid.csv file."""
+    return parse_languoid_csv(
+        Path(path).read_text(encoding="utf-8"), max_levels=max_levels)

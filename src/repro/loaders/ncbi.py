@@ -1,0 +1,142 @@
+"""Loader for the NCBI Taxonomy dump (taxdump nodes.dmp / names.dmp).
+
+The FTP taxdump distributes pipe-delimited tables:
+
+* ``nodes.dmp``: ``tax_id | parent_tax_id | rank | ...``
+* ``names.dmp``: ``tax_id | name_txt | unique_name | name_class |``
+  (the canonical name has name_class ``scientific name``).
+
+Following the paper (Section 2.1, citing Schoch et al.), only seven
+ranks are kept — superkingdom/kingdom, phylum, class, order, family,
+genus, species — and every kept node is re-attached to its nearest
+kept ancestor, reproducing the paper's level mapping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import validate_taxonomy
+
+#: Rank -> paper level.  "superkingdom" and "kingdom" both map to the
+#: top level ("superkingdom/kingdom/high-level clade" in the paper).
+RANK_LEVELS: dict[str, int] = {
+    "superkingdom": 0,
+    "kingdom": 0,
+    "phylum": 1,
+    "class": 2,
+    "order": 3,
+    "family": 4,
+    "genus": 5,
+    "species": 6,
+}
+
+
+def _split_dmp(line: str) -> list[str]:
+    # taxdump rows end with "\t|" and separate fields with "\t|\t".
+    return [field.strip() for field in
+            line.rstrip("\n").rstrip("|").split("|")]
+
+
+def parse_nodes(lines: Iterable[str]) -> dict[str, tuple[str, str]]:
+    """tax_id -> (parent_tax_id, rank)."""
+    nodes = {}
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        fields = _split_dmp(line)
+        if len(fields) < 3:
+            raise TaxonomyError(
+                f"nodes.dmp line {line_no}: expected >= 3 fields")
+        tax_id, parent_id, rank = (fields[0].strip(),
+                                   fields[1].strip(),
+                                   fields[2].strip())
+        nodes[tax_id] = (parent_id, rank)
+    return nodes
+
+
+def parse_names(lines: Iterable[str]) -> dict[str, str]:
+    """tax_id -> scientific name."""
+    names = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        fields = _split_dmp(line)
+        if len(fields) >= 4 and fields[3].strip() == "scientific name":
+            names[fields[0].strip()] = fields[1].strip()
+    return names
+
+
+def build_ncbi_taxonomy(nodes: dict[str, tuple[str, str]],
+                        names: dict[str, str],
+                        name: str = "NCBI") -> Taxonomy:
+    """Assemble the seven-rank taxonomy from parsed dump tables."""
+    kept = {tax_id for tax_id, (_, rank) in nodes.items()
+            if rank in RANK_LEVELS}
+    if not kept:
+        raise TaxonomyError("no nodes with the seven paper ranks")
+
+    def nearest_kept_ancestor(tax_id: str) -> str | None:
+        current = nodes[tax_id][0]
+        hops = 0
+        while current in nodes and hops <= len(nodes):
+            if current in kept and current != tax_id:
+                return current
+            parent = nodes[current][0]
+            if parent == current:  # taxdump roots self-reference
+                return None
+            current = parent
+            hops += 1
+        return None
+
+    built: dict[str, TaxonomyNode] = {}
+    for tax_id in kept:
+        level = RANK_LEVELS[nodes[tax_id][1]]
+        ancestor = nearest_kept_ancestor(tax_id)
+        if ancestor is not None \
+                and RANK_LEVELS[nodes[ancestor][1]] >= level:
+            # Rank inversions (e.g. species under a no-rank clade under
+            # class) — drop the link, keep the node as a root of its
+            # rank only when top-level; otherwise skip it.
+            ancestor = None
+        if ancestor is None and level != 0:
+            continue  # orphaned mid-rank node: not representable
+        built[tax_id] = TaxonomyNode(
+            node_id=tax_id,
+            name=names.get(tax_id, f"taxid {tax_id}"),
+            level=level,
+            parent_id=ancestor)
+    for node in built.values():
+        if node.parent_id is not None and node.parent_id in built:
+            built[node.parent_id].children_ids.append(node.node_id)
+
+    _relevel(built)
+    taxonomy = Taxonomy(name, Domain.BIOLOGY, built,
+                        concept_noun="organism group")
+    validate_taxonomy(taxonomy)
+    return taxonomy
+
+
+def _relevel(nodes: dict[str, TaxonomyNode]) -> None:
+    """Recompute levels as tree depth (ranks may skip levels)."""
+    for node in nodes.values():
+        depth = 0
+        current = node
+        while current.parent_id is not None:
+            current = nodes[current.parent_id]
+            depth += 1
+        node.level = depth
+
+
+def load_ncbi_taxonomy(nodes_path: str | Path,
+                       names_path: str | Path) -> Taxonomy:
+    """Load nodes.dmp + names.dmp files."""
+    nodes = parse_nodes(
+        Path(nodes_path).read_text(encoding="utf-8").splitlines())
+    names = parse_names(
+        Path(names_path).read_text(encoding="utf-8").splitlines())
+    return build_ncbi_taxonomy(nodes, names)

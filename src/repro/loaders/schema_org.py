@@ -1,0 +1,83 @@
+"""Loader for the Schema.org type hierarchy CSV.
+
+The release file ``schemaorg-current-https-types.csv`` has columns
+``id`` (the type URL), ``label`` and ``subTypeOf`` (comma-separated
+parent URLs).  Schema.org is a DAG in places — a handful of types have
+several supertypes — while TaxoGlimpse needs a forest, so the loader
+keeps the *first* listed parent, matching how the paper's tree-shaped
+statistics (Table 1: 3 trees) can only arise.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import validate_taxonomy
+
+REQUIRED_COLUMNS = ("id", "label", "subTypeOf")
+
+
+def _local_name(url: str) -> str:
+    return url.rstrip("/").rsplit("/", 1)[-1]
+
+
+def parse_types_csv(text: str, name: str = "Schema") -> Taxonomy:
+    """Build a taxonomy from the schema.org types CSV content."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or any(
+            column not in reader.fieldnames
+            for column in REQUIRED_COLUMNS):
+        raise TaxonomyError(
+            f"types csv must have columns {REQUIRED_COLUMNS}")
+    parents: dict[str, str | None] = {}
+    labels: dict[str, str] = {}
+    for row in reader:
+        type_id = _local_name(row["id"].strip())
+        if not type_id:
+            continue
+        labels[type_id] = row["label"].strip() or type_id
+        supertypes = [part.strip() for part
+                      in row["subTypeOf"].split(",") if part.strip()]
+        parents[type_id] = (_local_name(supertypes[0])
+                            if supertypes else None)
+    if not labels:
+        raise TaxonomyError("no schema.org types found")
+
+    nodes: dict[str, TaxonomyNode] = {}
+    for type_id, label in labels.items():
+        parent = parents[type_id]
+        if parent is not None and parent not in labels:
+            parent = None  # dangling supertype: promote to root
+        nodes[type_id] = TaxonomyNode(node_id=type_id, name=label,
+                                      level=0, parent_id=parent)
+    for node in nodes.values():
+        if node.parent_id is not None:
+            nodes[node.parent_id].children_ids.append(node.node_id)
+    _assign_depths(nodes)
+
+    taxonomy = Taxonomy(name, Domain.GENERAL, nodes,
+                        concept_noun="entity type")
+    validate_taxonomy(taxonomy)
+    return taxonomy
+
+
+def _assign_depths(nodes: dict[str, TaxonomyNode]) -> None:
+    for node in nodes.values():
+        depth = 0
+        current = node
+        while current.parent_id is not None:
+            current = nodes[current.parent_id]
+            depth += 1
+            if depth > len(nodes):
+                raise TaxonomyError("cycle in subTypeOf chain")
+        node.level = depth
+
+
+def load_schema_taxonomy(path: str | Path) -> Taxonomy:
+    """Load a schemaorg-current-https-types.csv file."""
+    return parse_types_csv(Path(path).read_text(encoding="utf-8"))

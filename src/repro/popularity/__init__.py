@@ -1,0 +1,15 @@
+"""Simulated taxonomy popularity (paper Figure 2)."""
+
+from repro.popularity.estimator import (DEFAULT_SAMPLE,
+                                        PopularityEstimate,
+                                        concept_hits,
+                                        estimate_popularity,
+                                        popularity_ranking)
+
+__all__ = [
+    "PopularityEstimate",
+    "concept_hits",
+    "estimate_popularity",
+    "popularity_ranking",
+    "DEFAULT_SAMPLE",
+]

@@ -1,0 +1,72 @@
+"""Simulated web-popularity estimation (paper Figure 2).
+
+The paper measures taxonomy popularity as the average number of Google
+results for 100 randomly sampled concept names (exact match).  Offline,
+hit counts come from a deterministic log-normal corpus model whose
+per-taxonomy means are the Figure 2 anchors: common taxonomies (eBay,
+Schema.org, Amazon, Google) sit around 10^7 hits, specialized ones
+(down to NCBI) orders of magnitude lower.  The estimator samples
+concepts and averages exactly like the paper's crawler did, so the
+common -> specialized ranking is measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.paper_figures import POPULARITY_LOG10_HITS
+from repro.generators.registry import TAXONOMY_KEYS, build_taxonomy
+from repro.llm.rng import unit_float
+from repro.taxonomy.taxonomy import Taxonomy
+
+#: Concepts sampled per taxonomy (paper samples 100).
+DEFAULT_SAMPLE = 100
+#: Log10 spread of hit counts within one taxonomy.
+_SIGMA = 0.8
+
+
+def concept_hits(taxonomy_key: str, concept_name: str) -> float:
+    """Deterministic simulated exact-match hit count for one concept."""
+    mean = POPULARITY_LOG10_HITS[taxonomy_key]
+    # Box-Muller on two hash draws gives a deterministic gaussian.
+    import math
+    u1 = max(unit_float("hits-u1", taxonomy_key, concept_name), 1e-12)
+    u2 = unit_float("hits-u2", taxonomy_key, concept_name)
+    gaussian = math.sqrt(-2.0 * math.log(u1)) \
+        * math.cos(2.0 * math.pi * u2)
+    return 10.0 ** (mean + _SIGMA * gaussian)
+
+
+@dataclass(frozen=True, slots=True)
+class PopularityEstimate:
+    """Average hit count over a sample of concepts (one Fig. 2 bar)."""
+
+    taxonomy_key: str
+    mean_hits: float
+    sample_size: int
+
+
+def estimate_popularity(taxonomy_key: str,
+                        taxonomy: Taxonomy | None = None,
+                        sample: int = DEFAULT_SAMPLE,
+                        seed: str = "popularity") -> PopularityEstimate:
+    """Sample concepts and average their simulated hit counts."""
+    if taxonomy is None:
+        taxonomy = build_taxonomy(taxonomy_key)
+    rng = random.Random(f"{seed}|{taxonomy_key}")
+    nodes = list(taxonomy.node_ids)
+    picked = rng.sample(nodes, min(sample, len(nodes)))
+    hits = [concept_hits(taxonomy_key, taxonomy.node(node_id).name)
+            for node_id in picked]
+    return PopularityEstimate(taxonomy_key, sum(hits) / len(hits),
+                              len(hits))
+
+
+def popularity_ranking(sample: int = DEFAULT_SAMPLE
+                       ) -> list[PopularityEstimate]:
+    """All taxonomies ranked most to least popular (Figure 2)."""
+    estimates = [estimate_popularity(key, sample=sample)
+                 for key in TAXONOMY_KEYS]
+    return sorted(estimates, key=lambda est: est.mean_hits,
+                  reverse=True)

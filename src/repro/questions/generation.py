@@ -1,0 +1,196 @@
+"""Question generation per taxonomy level (paper Section 2.2).
+
+For each level ``n`` (children) the generator samples entities with the
+95%/5% Cochran size, then emits for every sampled child:
+
+* a **positive** question against the true parent,
+* a **negative-easy** question against a random other node at the
+  parent's level,
+* a **negative-hard** question against an uncle (sibling of the true
+  parent) — dropped when the child has no uncles, which is why hard
+  counts in Table 4 occasionally run a few questions short, and
+* an **MCQ** with the true parent and three uncle distractors (padded
+  with other parent-level nodes, then with the child's own siblings,
+  when fewer than three uncles exist — e.g. Schema.org's three roots).
+
+All sampling is driven by ``random.Random`` seeded from the taxonomy
+key and level, so pools are a pure function of the taxonomy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import QuestionGenerationError
+from repro.questions.model import (Question, QuestionKind, QuestionType)
+from repro.stats.sampling import cochran_sample_size
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.node import TaxonomyNode
+
+_MCQ_OPTION_COUNT = 4
+
+
+@dataclass(frozen=True, slots=True)
+class LevelQuestions:
+    """All question kinds generated for one child level."""
+
+    taxonomy_key: str
+    level: int
+    positives: tuple[Question, ...]
+    negatives_easy: tuple[Question, ...]
+    negatives_hard: tuple[Question, ...]
+    mcqs: tuple[Question, ...]
+
+    @property
+    def easy(self) -> tuple[Question, ...]:
+        return self.positives + self.negatives_easy
+
+    @property
+    def hard(self) -> tuple[Question, ...]:
+        """Positives paired with hard negatives (same pairing as paper).
+
+        Positives whose child has no uncles are dropped together with
+        the missing hard negative, keeping the set balanced.
+        """
+        with_hard = {q.child_id for q in self.negatives_hard}
+        kept = tuple(q for q in self.positives if q.child_id in with_hard)
+        return kept + self.negatives_hard
+
+
+def _uid(taxonomy_key: str, kind: QuestionKind, child: TaxonomyNode,
+         asked: str) -> str:
+    return f"{taxonomy_key}|{kind.value}|{child.node_id}|{asked}"
+
+
+def _tf_question(taxonomy: Taxonomy, taxonomy_key: str,
+                 kind: QuestionKind, child: TaxonomyNode,
+                 asked_parent: TaxonomyNode) -> Question:
+    true_parent = taxonomy.parent(child.node_id)
+    return Question(
+        uid=_uid(taxonomy_key, kind, child, asked_parent.node_id),
+        taxonomy_key=taxonomy_key,
+        domain=taxonomy.domain,
+        qtype=QuestionType.TRUE_FALSE,
+        kind=kind,
+        level=child.level,
+        child_id=child.node_id,
+        child_name=child.name,
+        true_parent_id=true_parent.node_id,
+        true_parent_name=true_parent.name,
+        asked_parent_name=asked_parent.name,
+    )
+
+
+def _sample_easy_negative(taxonomy: Taxonomy, child: TaxonomyNode,
+                          rng: random.Random) -> TaxonomyNode | None:
+    """A random parent-level node that is not the true parent."""
+    candidates = taxonomy.nodes_at_level(child.level - 1)
+    if len(candidates) < 2:
+        return None
+    parent_id = child.parent_id
+    while True:
+        pick = rng.choice(candidates)
+        if pick.node_id != parent_id:
+            return pick
+
+
+def _mcq_distractors(taxonomy: Taxonomy, child: TaxonomyNode,
+                     rng: random.Random) -> list[TaxonomyNode] | None:
+    """Three distractors: uncles first, then padding (see module doc)."""
+    distractors = list(taxonomy.uncles(child.node_id))
+    if len(distractors) > 3:
+        distractors = rng.sample(distractors, 3)
+    if len(distractors) < 3:
+        taken = {node.node_id for node in distractors}
+        taken.add(child.parent_id)
+        pad_pool = [node for node in
+                    taxonomy.nodes_at_level(child.level - 1)
+                    if node.node_id not in taken]
+        pad_pool += [node for node in taxonomy.siblings(child.node_id)
+                     if node.node_id not in taken]
+        rng.shuffle(pad_pool)
+        distractors.extend(pad_pool[:3 - len(distractors)])
+    if len(distractors) < 3:
+        return None
+    return distractors
+
+
+def _mcq_question(taxonomy: Taxonomy, taxonomy_key: str,
+                  child: TaxonomyNode,
+                  rng: random.Random) -> Question | None:
+    distractors = _mcq_distractors(taxonomy, child, rng)
+    if distractors is None:
+        return None
+    true_parent = taxonomy.parent(child.node_id)
+    options = [true_parent.name] + [node.name for node in distractors]
+    rng.shuffle(options)
+    answer_index = options.index(true_parent.name)
+    return Question(
+        uid=_uid(taxonomy_key, QuestionKind.MCQ, child, "options"),
+        taxonomy_key=taxonomy_key,
+        domain=taxonomy.domain,
+        qtype=QuestionType.MCQ,
+        kind=QuestionKind.MCQ,
+        level=child.level,
+        child_id=child.node_id,
+        child_name=child.name,
+        true_parent_id=true_parent.node_id,
+        true_parent_name=true_parent.name,
+        options=tuple(options),
+        answer_index=answer_index,
+    )
+
+
+def generate_level_questions(taxonomy_key: str, taxonomy: Taxonomy,
+                             level: int,
+                             sample_size: int | None = None,
+                             seed: str = "") -> LevelQuestions:
+    """Generate all question kinds for child level ``level`` (>= 1)."""
+    if level < 1:
+        raise QuestionGenerationError(
+            "questions probe child levels >= 1 (roots have no parent)")
+    children = taxonomy.nodes_at_level(level)
+    if not children:
+        raise QuestionGenerationError(
+            f"{taxonomy_key}: no entities at level {level}")
+    if sample_size is None:
+        sample_size = cochran_sample_size(len(children))
+    sample_size = min(sample_size, len(children))
+    rng = random.Random(f"{seed}|{taxonomy_key}|level{level}")
+    sampled = rng.sample(children, sample_size)
+
+    positives: list[Question] = []
+    negatives_easy: list[Question] = []
+    negatives_hard: list[Question] = []
+    mcqs: list[Question] = []
+    for child in sampled:
+        true_parent = taxonomy.parent(child.node_id)
+        positives.append(_tf_question(
+            taxonomy, taxonomy_key, QuestionKind.POSITIVE, child,
+            true_parent))
+
+        easy_negative = _sample_easy_negative(taxonomy, child, rng)
+        if easy_negative is not None:
+            negatives_easy.append(_tf_question(
+                taxonomy, taxonomy_key, QuestionKind.NEGATIVE_EASY,
+                child, easy_negative))
+
+        uncles = taxonomy.uncles(child.node_id)
+        if uncles:
+            negatives_hard.append(_tf_question(
+                taxonomy, taxonomy_key, QuestionKind.NEGATIVE_HARD,
+                child, rng.choice(uncles)))
+
+        mcq = _mcq_question(taxonomy, taxonomy_key, child, rng)
+        if mcq is not None:
+            mcqs.append(mcq)
+
+    return LevelQuestions(
+        taxonomy_key=taxonomy_key,
+        level=level,
+        positives=tuple(positives),
+        negatives_easy=tuple(negatives_easy),
+        negatives_hard=tuple(negatives_hard),
+        mcqs=tuple(mcqs),
+    )

@@ -1,0 +1,127 @@
+"""Question data model shared by generation, prompting and evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.taxonomy.node import Domain
+
+MCQ_LETTERS = ("A", "B", "C", "D")
+
+
+class QuestionType(str, Enum):
+    """Template family: True/False (Table 2) or MCQ (Table 3)."""
+
+    TRUE_FALSE = "true-false"
+    MCQ = "mcq"
+
+
+class QuestionKind(str, Enum):
+    """Provenance of the asked parent (paper Section 2.2)."""
+
+    POSITIVE = "positive"
+    NEGATIVE_EASY = "negative-easy"
+    NEGATIVE_HARD = "negative-hard"
+    MCQ = "mcq"
+
+
+class DatasetKind(str, Enum):
+    """Evaluation dataset: positives paired with one negative flavour."""
+
+    EASY = "easy"     # positive + negative-easy
+    HARD = "hard"     # positive + negative-hard
+    MCQ = "mcq"
+
+    @property
+    def question_kinds(self) -> tuple[QuestionKind, ...]:
+        if self is DatasetKind.EASY:
+            return (QuestionKind.POSITIVE, QuestionKind.NEGATIVE_EASY)
+        if self is DatasetKind.HARD:
+            return (QuestionKind.POSITIVE, QuestionKind.NEGATIVE_HARD)
+        return (QuestionKind.MCQ,)
+
+
+class Answer(str, Enum):
+    """Canonical answers the harness compares against."""
+
+    YES = "yes"
+    NO = "no"
+    IDK = "idk"            # "I don't know" => counted as a miss
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+    UNPARSEABLE = "unparseable"
+
+    @property
+    def is_miss(self) -> bool:
+        return self in (Answer.IDK, Answer.UNPARSEABLE)
+
+
+_LETTER_ANSWERS = {
+    "A": Answer.A, "B": Answer.B, "C": Answer.C, "D": Answer.D,
+}
+
+
+def letter_answer(letter: str) -> Answer:
+    """Map "A".."D" to the corresponding :class:`Answer`."""
+    return _LETTER_ANSWERS[letter]
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One benchmark question about a child->parent Is-A edge.
+
+    ``level`` is the child entity's level; a question at level ``n``
+    probes the "level n to level n-1" relation in the paper's phrasing.
+    For True/False questions ``asked_parent_name`` is the candidate
+    parent named in the prompt (the true parent for positives, a
+    distractor for negatives); MCQ questions instead carry four
+    ``options`` and the index of the correct one.
+    """
+
+    uid: str
+    taxonomy_key: str
+    domain: Domain
+    qtype: QuestionType
+    kind: QuestionKind
+    level: int
+    child_id: str
+    child_name: str
+    true_parent_id: str
+    true_parent_name: str
+    asked_parent_name: str | None = None
+    options: tuple[str, ...] = field(default=())
+    answer_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.qtype is QuestionType.MCQ:
+            if len(self.options) != len(MCQ_LETTERS):
+                raise ValueError("MCQ questions need exactly 4 options")
+            if self.answer_index is None or not (
+                    0 <= self.answer_index < len(self.options)):
+                raise ValueError("MCQ answer_index out of range")
+        elif self.asked_parent_name is None:
+            raise ValueError("True/False questions need an asked parent")
+
+    @property
+    def expected_answer(self) -> Answer:
+        """The ground-truth answer."""
+        if self.qtype is QuestionType.MCQ:
+            return letter_answer(MCQ_LETTERS[self.answer_index])
+        if self.kind is QuestionKind.POSITIVE:
+            return Answer.YES
+        return Answer.NO
+
+    @property
+    def level_label(self) -> str:
+        """Paper-style label, e.g. "level 2-1" or "level 1-root"."""
+        upper = "root" if self.level == 1 else str(self.level - 1)
+        return f"level {self.level}-{upper}"
+
+
+def level_label(level: int) -> str:
+    """Paper-style label for a child level (see Table 4 row names)."""
+    upper = "root" if level == 1 else str(level - 1)
+    return f"level {level}-{upper}"

@@ -1,0 +1,113 @@
+"""Question pools: per-level datasets and Table 4 statistics.
+
+A :class:`QuestionPool` is what the evaluation runner consumes: a flat
+tuple of questions tagged with taxonomy, dataset kind and level.  The
+:class:`TaxonomyPools` aggregate holds one pool per (level, dataset)
+plus the level-combined totals that Tables 5-7 evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.generators.registry import build_taxonomy, get_spec
+from repro.questions.generation import (LevelQuestions,
+                                        generate_level_questions)
+from repro.questions.model import DatasetKind, Question, level_label
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionPool:
+    """A named, ordered set of questions fed to models as one dataset."""
+
+    taxonomy_key: str
+    dataset: DatasetKind
+    level: int | None          # None = all levels combined
+    questions: tuple[Question, ...]
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+    @property
+    def label(self) -> str:
+        scope = "total" if self.level is None else level_label(self.level)
+        return f"{self.taxonomy_key}/{self.dataset.value}/{scope}"
+
+
+class TaxonomyPools:
+    """All evaluation datasets derived from one taxonomy."""
+
+    def __init__(self, taxonomy_key: str, taxonomy: Taxonomy,
+                 per_level: dict[int, LevelQuestions]):
+        self.taxonomy_key = taxonomy_key
+        self.taxonomy = taxonomy
+        self._per_level = dict(sorted(per_level.items()))
+
+    @property
+    def question_levels(self) -> list[int]:
+        """Child levels with questions (1 .. num_levels - 1)."""
+        return list(self._per_level)
+
+    def level_pool(self, level: int, dataset: DatasetKind) -> QuestionPool:
+        """The per-level dataset (one line of Table 4)."""
+        generated = self._per_level[level]
+        questions = {
+            DatasetKind.EASY: generated.easy,
+            DatasetKind.HARD: generated.hard,
+            DatasetKind.MCQ: generated.mcqs,
+        }[dataset]
+        return QuestionPool(self.taxonomy_key, dataset, level, questions)
+
+    def total_pool(self, dataset: DatasetKind) -> QuestionPool:
+        """All levels combined (the Tables 5-7 evaluation sets)."""
+        questions: list[Question] = []
+        for level in self.question_levels:
+            questions.extend(self.level_pool(level, dataset).questions)
+        return QuestionPool(self.taxonomy_key, dataset, None,
+                            tuple(questions))
+
+    def statistics(self) -> list[dict[str, object]]:
+        """Rows of Table 4 for this taxonomy (plus the totals row)."""
+        rows = []
+        for level in self.question_levels:
+            rows.append({
+                "level": level_label(level),
+                "easy": len(self.level_pool(level, DatasetKind.EASY)),
+                "hard": len(self.level_pool(level, DatasetKind.HARD)),
+                "mcq": len(self.level_pool(level, DatasetKind.MCQ)),
+            })
+        rows.append({
+            "level": "total",
+            "easy": sum(row["easy"] for row in rows),
+            "hard": sum(row["hard"] for row in rows),
+            "mcq": sum(row["mcq"] for row in rows),
+        })
+        return rows
+
+
+def build_pools(taxonomy_key: str, taxonomy: Taxonomy | None = None,
+                sample_size: int | None = None,
+                seed: str = "") -> TaxonomyPools:
+    """Generate every level's datasets for one taxonomy.
+
+    ``sample_size`` overrides the Cochran size (useful for fast test
+    runs); ``seed`` decorrelates repeated samplings.
+    """
+    if taxonomy is None:
+        taxonomy = build_taxonomy(get_spec(taxonomy_key).key)
+    per_level = {
+        level: generate_level_questions(
+            taxonomy_key, taxonomy, level,
+            sample_size=sample_size, seed=seed)
+        for level in range(1, taxonomy.num_levels)
+    }
+    return TaxonomyPools(taxonomy_key, taxonomy, per_level)
+
+
+@lru_cache(maxsize=32)
+def default_pools(taxonomy_key: str,
+                  sample_size: int | None = None) -> TaxonomyPools:
+    """Cached pools over the default synthetic taxonomy."""
+    return build_pools(taxonomy_key, sample_size=sample_size)

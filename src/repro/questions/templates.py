@@ -1,0 +1,87 @@
+"""Question templates (paper Tables 2 and 3).
+
+Each domain wraps concept names in its own phrasing; the paper also
+evaluated slight paraphrases (relation "a type of" vs "a kind of" /
+"a sort of"; MCQ adjective "appropriate" vs "suitable" / "proper") and
+found no meaningful difference, so the default variant is 0 everywhere
+while the harness still exposes all three.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PromptError
+from repro.questions.model import (MCQ_LETTERS, Question, QuestionType)
+from repro.taxonomy.node import Domain
+
+#: Table 2/3 paraphrase variants.
+RELATION_VARIANTS = ("a type of", "a kind of", "a sort of")
+ADJECTIVE_VARIANTS = ("appropriate", "suitable", "proper")
+
+#: How each domain mentions a concept in True/False questions:
+#: (prefix, suffix) around the concept name.
+_TF_WRAPPERS: dict[Domain, tuple[str, str]] = {
+    Domain.SHOPPING: ("", " products"),
+    Domain.GENERAL: ("", " entity type"),
+    Domain.COMPUTER_SCIENCE: ("", " computer science research concept"),
+    Domain.GEOGRAPHY: ("", " geographical concept"),
+    Domain.LANGUAGE: ("", " language"),
+    Domain.HEALTH: ("", ""),
+    Domain.BIOLOGY: ("", ""),
+    Domain.MEDICAL: ("", " Adverse Events concept"),
+}
+
+#: MCQ subject wrapper (Table 3 uses slightly different nouns).
+_MCQ_WRAPPERS: dict[Domain, tuple[str, str]] = {
+    Domain.SHOPPING: ("", " product"),
+    Domain.GENERAL: ("", " entity type"),
+    Domain.COMPUTER_SCIENCE: ("", " research concept"),
+    Domain.GEOGRAPHY: ("", " geographical concept"),
+    Domain.LANGUAGE: ("", " language"),
+    Domain.HEALTH: ("", ""),
+    Domain.BIOLOGY: ("", ""),
+    Domain.MEDICAL: ("", " Adverse Events concept"),
+}
+
+TF_ANSWER_SUFFIX = "answer with (Yes/No/I don't know)"
+
+
+def _wrap(wrappers: dict[Domain, tuple[str, str]], domain: Domain,
+          name: str) -> str:
+    prefix, suffix = wrappers[domain]
+    return f"{prefix}{name}{suffix}"
+
+
+def true_false_prompt(domain: Domain, child_name: str, parent_name: str,
+                      variant: int = 0) -> str:
+    """Render a Table 2 True/False question."""
+    if not 0 <= variant < len(RELATION_VARIANTS):
+        raise PromptError(f"unknown template variant: {variant}")
+    relation = RELATION_VARIANTS[variant]
+    child = _wrap(_TF_WRAPPERS, domain, child_name)
+    parent = _wrap(_TF_WRAPPERS, domain, parent_name)
+    verb = "Are" if domain is Domain.SHOPPING else "Is"
+    return f"{verb} {child} {relation} {parent}? {TF_ANSWER_SUFFIX}"
+
+
+def mcq_prompt(domain: Domain, child_name: str, options: tuple[str, ...],
+               variant: int = 0) -> str:
+    """Render a Table 3 multiple-choice question."""
+    if not 0 <= variant < len(ADJECTIVE_VARIANTS):
+        raise PromptError(f"unknown template variant: {variant}")
+    if len(options) != len(MCQ_LETTERS):
+        raise PromptError("MCQ prompts need exactly 4 options")
+    adjective = ADJECTIVE_VARIANTS[variant]
+    subject = _wrap(_MCQ_WRAPPERS, domain, child_name)
+    listing = " ".join(f"{letter}) {option}"
+                       for letter, option in zip(MCQ_LETTERS, options))
+    return (f"What is the most {adjective} supertype of {subject}? "
+            f"{listing}")
+
+
+def render_question(question: Question, variant: int = 0) -> str:
+    """Render any :class:`Question` into its prompt text."""
+    if question.qtype is QuestionType.MCQ:
+        return mcq_prompt(question.domain, question.child_name,
+                          question.options, variant)
+    return true_false_prompt(question.domain, question.child_name,
+                             question.asked_parent_name, variant)

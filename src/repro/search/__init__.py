@@ -1,0 +1,19 @@
+"""Entity search over taxonomies: tree vs LLM vs hybrid routing."""
+
+from repro.search.engine import (HybridRouter, LlmRouter,
+                                 ProductCorpus, SearchResult,
+                                 TreeRouter, lexical_score)
+from repro.search.evaluation import (StrategyScore, evaluate_search,
+                                     make_queries)
+
+__all__ = [
+    "ProductCorpus",
+    "SearchResult",
+    "TreeRouter",
+    "LlmRouter",
+    "HybridRouter",
+    "lexical_score",
+    "StrategyScore",
+    "evaluate_search",
+    "make_queries",
+]

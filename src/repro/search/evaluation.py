@@ -1,0 +1,105 @@
+"""Comparative evaluation of the three search strategies.
+
+Queries are synthesized from leaf categories ("best <category>",
+"<category> deals") with the category's own products as relevance
+ground truth; each router answers every query and is scored with
+precision/recall over returned product sets, plus routing accuracy.
+The shape to expect (and that the bench asserts): the tree router is
+near-perfect but pays for the full tree; the LLM-only router's
+precision collapses (it must reject the entire corpus per query); the
+hybrid router sits in between, matching the Section 5.3 trade-off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.core.metrics import retrieval_metrics
+from repro.generators.registry import build_taxonomy
+from repro.search.engine import (HybridRouter, LlmRouter,
+                                 ProductCorpus, TreeRouter)
+from repro.taxonomy.taxonomy import Taxonomy
+
+_QUERY_SHAPES = ("best {}", "{} deals", "cheap {}", "top rated {}")
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyScore:
+    """Aggregate quality of one routing strategy."""
+
+    strategy: str
+    precision: float
+    recall: float
+    routing_accuracy: float     # routed to the right category/ancestor
+    queries: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "routing acc": round(self.routing_accuracy, 3),
+        }
+
+
+def make_queries(taxonomy: Taxonomy, count: int,
+                 seed: str = "queries") -> list[tuple[str, str]]:
+    """(query text, truth leaf node id) pairs from leaf categories."""
+    rng = random.Random(f"{seed}|{taxonomy.name}")
+    leaves = taxonomy.leaves()
+    picked = rng.sample(leaves, min(count, len(leaves)))
+    return [(rng.choice(_QUERY_SHAPES).format(node.name.lower()),
+             node.node_id) for node in picked]
+
+
+def evaluate_search(taxonomy_key: str = "ebay", queries: int = 60,
+                    cut_level: int | None = None,
+                    per_category: int = 4) -> list[StrategyScore]:
+    """Score tree / LLM-only / hybrid routing on synthetic queries."""
+    taxonomy = build_taxonomy(taxonomy_key)
+    if cut_level is None:
+        cut_level = max(0, taxonomy.num_levels - 2)
+    corpus = ProductCorpus(taxonomy, per_category=per_category)
+    routers = {
+        "tree": TreeRouter(corpus),
+        "llm-only": LlmRouter(corpus),
+        "hybrid": HybridRouter(corpus, cut_level),
+    }
+    pairs = make_queries(taxonomy, queries)
+
+    scores = []
+    for name, router in routers.items():
+        precisions, recalls, routed_right = [], [], 0
+        for query, truth_id in pairs:
+            if name == "tree":
+                result = router.search(query)
+            else:
+                result = router.search(query, truth_node_id=truth_id)
+            relevant = set(corpus.products_of(truth_id))
+            metrics = retrieval_metrics(set(result.products), relevant)
+            precisions.append(metrics.precision)
+            recalls.append(metrics.recall)
+            if _routed_correctly(taxonomy, result.routed_to, truth_id):
+                routed_right += 1
+        scores.append(StrategyScore(
+            strategy=name,
+            precision=fmean(precisions),
+            recall=fmean(recalls),
+            routing_accuracy=routed_right / len(pairs),
+            queries=len(pairs),
+        ))
+    return scores
+
+
+def _routed_correctly(taxonomy: Taxonomy, routed_to: str | None,
+                      truth_id: str) -> bool:
+    """Routed category is the truth leaf or one of its ancestors."""
+    if routed_to is None:
+        return False
+    truth = taxonomy.node(truth_id)
+    if routed_to == truth.name:
+        return True
+    return routed_to in {node.name
+                         for node in taxonomy.ancestors(truth_id)}

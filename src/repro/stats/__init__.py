@@ -1,0 +1,14 @@
+"""Statistical utilities: sample sizes (Table 4) and bootstrap CIs."""
+
+from repro.stats.bootstrap import Interval, bootstrap_mean
+from repro.stats.sampling import (DEFAULT_MARGIN, DEFAULT_PROPORTION, Z_95,
+                                  cochran_sample_size)
+
+__all__ = [
+    "Interval",
+    "bootstrap_mean",
+    "cochran_sample_size",
+    "DEFAULT_MARGIN",
+    "DEFAULT_PROPORTION",
+    "Z_95",
+]

@@ -1,0 +1,115 @@
+"""Incremental construction of validated taxonomies."""
+
+from __future__ import annotations
+
+from repro.errors import TaxonomyError, UnknownNodeError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import validate_taxonomy
+
+
+class TaxonomyBuilder:
+    """Builds a :class:`Taxonomy` one node at a time.
+
+    Node ids are assigned automatically (``n0``, ``n1``, ...) unless an
+    explicit id is supplied, which loaders of real dumps use to keep the
+    source identifiers (e.g. Glottocodes, NCBI taxids).
+
+    Example:
+        >>> builder = TaxonomyBuilder("toy", Domain.GENERAL)
+        >>> thing = builder.add_root("Thing")
+        >>> builder.add_child(thing, "Animal")
+        'n1'
+        >>> taxonomy = builder.build()
+        >>> taxonomy.num_levels
+        2
+    """
+
+    def __init__(self, name: str, domain: Domain,
+                 concept_noun: str = "concept"):
+        self.name = name
+        self.domain = domain
+        self.concept_noun = concept_noun
+        self._nodes: dict[str, TaxonomyNode] = {}
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        node_id = f"n{self._counter}"
+        self._counter += 1
+        return node_id
+
+    def add_root(self, name: str, node_id: str | None = None) -> str:
+        """Add a level-0 node and return its id."""
+        return self._add(name, parent_id=None, node_id=node_id)
+
+    def add_child(self, parent_id: str, name: str,
+                  node_id: str | None = None) -> str:
+        """Add a child under ``parent_id`` and return its id."""
+        if parent_id not in self._nodes:
+            raise UnknownNodeError(parent_id)
+        return self._add(name, parent_id=parent_id, node_id=node_id)
+
+    def add_path(self, names: list[str]) -> list[str]:
+        """Add a root-to-leaf chain, reusing existing nodes by name.
+
+        Convenient for loading path-per-line dumps such as the Google
+        Product Category file ("A > B > C").  Returns the node ids along
+        the path.
+        """
+        if not names:
+            raise TaxonomyError("add_path requires at least one name")
+        path_ids: list[str] = []
+        parent_id: str | None = None
+        for level, name in enumerate(names):
+            existing = self._find(name, parent_id, level)
+            if existing is None:
+                if parent_id is None:
+                    existing = self.add_root(name)
+                else:
+                    existing = self.add_child(parent_id, name)
+            path_ids.append(existing)
+            parent_id = existing
+        return path_ids
+
+    def _find(self, name: str, parent_id: str | None,
+              level: int) -> str | None:
+        if parent_id is None:
+            pool = (n for n in self._nodes.values() if n.is_root)
+        else:
+            pool = (self._nodes[c]
+                    for c in self._nodes[parent_id].children_ids)
+        for node in pool:
+            if node.name == name and node.level == level:
+                return node.node_id
+        return None
+
+    def _add(self, name: str, parent_id: str | None,
+             node_id: str | None) -> str:
+        if not name or not name.strip():
+            raise TaxonomyError("node name must be non-empty")
+        if node_id is None:
+            node_id = self._next_id()
+        if node_id in self._nodes:
+            raise TaxonomyError(f"duplicate node id: {node_id!r}")
+        level = 0
+        if parent_id is not None:
+            level = self._nodes[parent_id].level + 1
+        node = TaxonomyNode(node_id=node_id, name=name.strip(), level=level,
+                            parent_id=parent_id)
+        self._nodes[node_id] = node
+        if parent_id is not None:
+            self._nodes[parent_id].children_ids.append(node_id)
+        return node_id
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def build(self, validate: bool = True) -> Taxonomy:
+        """Finalize into a :class:`Taxonomy`; validates by default."""
+        if not self._nodes:
+            raise TaxonomyError("cannot build an empty taxonomy")
+        taxonomy = Taxonomy(self.name, self.domain, dict(self._nodes),
+                            concept_noun=self.concept_noun)
+        if validate:
+            validate_taxonomy(taxonomy)
+        return taxonomy

@@ -1,0 +1,137 @@
+"""Serialization of taxonomies.
+
+Two formats are supported:
+
+* a JSON document (lossless round trip, used by the test fixtures), and
+* a TSV edge list (``child_id, child_name, parent_id``) matching the way
+  the real taxonomy dumps (Glottolog languoid table, NCBI ``nodes.dmp``)
+  are distributed, so the synthetic generators can be swapped for the
+  originals without touching downstream code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import validate_taxonomy
+
+_FORMAT_VERSION = 1
+
+
+def taxonomy_to_dict(taxonomy: Taxonomy) -> dict:
+    """Serialize to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": taxonomy.name,
+        "domain": taxonomy.domain.value,
+        "concept_noun": taxonomy.concept_noun,
+        "nodes": [
+            {
+                "id": node.node_id,
+                "name": node.name,
+                "parent": node.parent_id,
+            }
+            for node in taxonomy
+        ],
+    }
+
+
+def taxonomy_from_dict(payload: dict, validate: bool = True) -> Taxonomy:
+    """Rebuild a taxonomy from :func:`taxonomy_to_dict` output."""
+    try:
+        name = payload["name"]
+        domain = Domain(payload["domain"])
+        raw_nodes = payload["nodes"]
+    except (KeyError, ValueError) as exc:
+        raise TaxonomyError(f"malformed taxonomy payload: {exc}") from exc
+
+    nodes: dict[str, TaxonomyNode] = {}
+    for raw in raw_nodes:
+        nodes[raw["id"]] = TaxonomyNode(
+            node_id=raw["id"], name=raw["name"], level=0,
+            parent_id=raw.get("parent"))
+    for node in nodes.values():
+        if node.parent_id is not None:
+            if node.parent_id not in nodes:
+                raise TaxonomyError(
+                    f"node {node.node_id}: dangling parent "
+                    f"{node.parent_id}")
+            nodes[node.parent_id].children_ids.append(node.node_id)
+    _assign_levels(nodes)
+
+    taxonomy = Taxonomy(name, domain, nodes,
+                        concept_noun=payload.get("concept_noun", "concept"))
+    if validate:
+        validate_taxonomy(taxonomy)
+    return taxonomy
+
+
+def _assign_levels(nodes: dict[str, TaxonomyNode]) -> None:
+    """Set node levels from parent chains (iterative, cycle-safe)."""
+    for node in nodes.values():
+        chain = []
+        current = node
+        while current.parent_id is not None:
+            chain.append(current)
+            current = nodes[current.parent_id]
+            if len(chain) > len(nodes):
+                raise TaxonomyError("cycle detected while assigning levels")
+        depth = 0
+        for member in reversed(chain):
+            depth += 1
+            member.level = depth
+
+
+def save_json(taxonomy: Taxonomy, path: str | Path) -> None:
+    """Write the taxonomy to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(taxonomy_to_dict(taxonomy), indent=1), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> Taxonomy:
+    """Load a taxonomy previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return taxonomy_from_dict(payload)
+
+
+def save_edge_tsv(taxonomy: Taxonomy, path: str | Path) -> None:
+    """Write a ``child_id<TAB>child_name<TAB>parent_id`` edge list.
+
+    Roots appear with an empty parent column.
+    """
+    lines = [f"{n.node_id}\t{n.name}\t{n.parent_id or ''}"
+             for n in taxonomy]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_edge_tsv(path: str | Path, name: str, domain: Domain,
+                  concept_noun: str = "concept") -> Taxonomy:
+    """Load an edge-list TSV (the real-dump interchange format)."""
+    nodes: dict[str, TaxonomyNode] = {}
+    for line_no, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise TaxonomyError(
+                f"{path}:{line_no}: expected 3 tab-separated fields")
+        node_id, node_name, parent_id = parts
+        nodes[node_id] = TaxonomyNode(
+            node_id=node_id, name=node_name, level=0,
+            parent_id=parent_id or None)
+    for node in nodes.values():
+        if node.parent_id is not None:
+            if node.parent_id not in nodes:
+                raise TaxonomyError(
+                    f"node {node.node_id}: dangling parent "
+                    f"{node.parent_id}")
+            nodes[node.parent_id].children_ids.append(node.node_id)
+    _assign_levels(nodes)
+    taxonomy = Taxonomy(name, domain, nodes, concept_noun=concept_noun)
+    validate_taxonomy(taxonomy)
+    return taxonomy

@@ -1,0 +1,54 @@
+"""Taxonomy node model.
+
+A taxonomy is a forest of named nodes linked by hypernymy ("Is-A")
+edges.  Nodes are plain records; all graph navigation lives on
+:class:`repro.taxonomy.taxonomy.Taxonomy` which owns the id -> node map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Domain(str, Enum):
+    """Application domain of a taxonomy (paper Section 2.1)."""
+
+    SHOPPING = "shopping"
+    GENERAL = "general"
+    COMPUTER_SCIENCE = "computer-science"
+    GEOGRAPHY = "geography"
+    LANGUAGE = "language"
+    HEALTH = "health"
+    MEDICAL = "medical"
+    BIOLOGY = "biology"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class TaxonomyNode:
+    """A single concept in a taxonomy.
+
+    Attributes:
+        node_id: Unique identifier within the taxonomy.
+        name: Human-readable concept name (what question templates use).
+        level: Depth of the node; roots are level 0.
+        parent_id: Id of the hypernym, or ``None`` for roots.
+        children_ids: Ids of direct hyponyms, in insertion order.
+    """
+
+    node_id: str
+    name: str
+    level: int
+    parent_id: str | None = None
+    children_ids: list[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children_ids

@@ -1,0 +1,63 @@
+"""Taxonomy statistics (paper Table 1).
+
+For each taxonomy the paper reports the number of entities, the number
+of levels, the number of trees and the per-level node counts.  The same
+summary is computed here for any :class:`Taxonomy`, and used by the
+Table 1 benchmark to reproduce the paper's statistics table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyStatistics:
+    """Summary of a taxonomy's shape (one row of Table 1)."""
+
+    name: str
+    domain: str
+    num_entities: int
+    num_levels: int
+    num_trees: int
+    level_widths: tuple[int, ...]
+
+    @property
+    def widths_label(self) -> str:
+        """The "13-110-472" style rendering used by Table 1."""
+        return "-".join(str(w) for w in self.level_widths)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "domain": self.domain,
+            "taxonomy": self.name,
+            "entities": self.num_entities,
+            "levels": self.num_levels,
+            "trees": self.num_trees,
+            "widths": self.widths_label,
+        }
+
+
+def compute_statistics(taxonomy: Taxonomy) -> TaxonomyStatistics:
+    """Compute the Table 1 row for ``taxonomy``."""
+    return TaxonomyStatistics(
+        name=taxonomy.name,
+        domain=taxonomy.domain.value,
+        num_entities=len(taxonomy),
+        num_levels=taxonomy.num_levels,
+        num_trees=taxonomy.num_trees,
+        level_widths=tuple(taxonomy.level_widths()),
+    )
+
+
+def branching_factors(taxonomy: Taxonomy) -> list[float]:
+    """Average branching factor per level (width ratio level+1/level).
+
+    Useful for sanity-checking generated taxonomies against the paper's
+    specs; not reported in the paper directly.
+    """
+    widths = taxonomy.level_widths()
+    return [widths[i + 1] / widths[i]
+            for i in range(len(widths) - 1) if widths[i]]

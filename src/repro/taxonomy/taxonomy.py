@@ -1,0 +1,172 @@
+"""The Taxonomy container: a validated forest of Is-A edges.
+
+The class exposes exactly the navigation the paper's question design
+needs (Section 2.2):
+
+* ``parent(child)`` for **positive** questions,
+* ``nodes_at_level(parent_level)`` minus the parent for **negative-easy**,
+* ``uncles(child)`` (siblings of the parent) for **negative-hard** and
+  MCQ distractors,
+* ``ancestors(node)`` for instance typing (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TaxonomyError, UnknownNodeError
+from repro.taxonomy.node import Domain, TaxonomyNode
+
+
+class Taxonomy:
+    """An immutable-by-convention forest of :class:`TaxonomyNode`.
+
+    Build instances through :class:`repro.taxonomy.builder.TaxonomyBuilder`
+    (which validates) or :func:`repro.taxonomy.io.taxonomy_from_dict`.
+    """
+
+    def __init__(self, name: str, domain: Domain,
+                 nodes: dict[str, TaxonomyNode],
+                 concept_noun: str = "concept"):
+        if not name:
+            raise TaxonomyError("taxonomy name must be non-empty")
+        self.name = name
+        self.domain = domain
+        #: Noun used by question templates, e.g. "products" for shopping.
+        self.concept_noun = concept_noun
+        self._nodes = nodes
+        self._roots = [n.node_id for n in nodes.values() if n.is_root]
+        self._levels: dict[int, list[str]] = {}
+        for node in nodes.values():
+            self._levels.setdefault(node.level, []).append(node.node_id)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[TaxonomyNode]:
+        return iter(self._nodes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Taxonomy({self.name!r}, domain={self.domain.value}, "
+                f"entities={len(self)}, levels={self.num_levels}, "
+                f"trees={self.num_trees})")
+
+    def node(self, node_id: str) -> TaxonomyNode:
+        """Return the node for ``node_id`` or raise UnknownNodeError."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    @property
+    def node_ids(self) -> Iterable[str]:
+        return self._nodes.keys()
+
+    @property
+    def roots(self) -> list[TaxonomyNode]:
+        return [self._nodes[i] for i in self._roots]
+
+    @property
+    def num_trees(self) -> int:
+        return len(self._roots)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels including the root level (Table 1 convention)."""
+        return max(self._levels) + 1 if self._levels else 0
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def parent(self, node_id: str) -> TaxonomyNode | None:
+        """Return the direct hypernym, or None for roots."""
+        node = self.node(node_id)
+        if node.parent_id is None:
+            return None
+        return self._nodes[node.parent_id]
+
+    def children(self, node_id: str) -> list[TaxonomyNode]:
+        """Return the direct hyponyms of ``node_id``."""
+        node = self.node(node_id)
+        return [self._nodes[c] for c in node.children_ids]
+
+    def siblings(self, node_id: str) -> list[TaxonomyNode]:
+        """Nodes that share the node's parent (other roots for a root)."""
+        node = self.node(node_id)
+        if node.parent_id is None:
+            pool = self._roots
+        else:
+            pool = self._nodes[node.parent_id].children_ids
+        return [self._nodes[i] for i in pool if i != node_id]
+
+    def uncles(self, node_id: str) -> list[TaxonomyNode]:
+        """Siblings of the node's parent (paper notation ``(e_n.p).s``).
+
+        These are the hard-negative candidates: same level as the true
+        parent and close to it in the tree.
+        """
+        node = self.node(node_id)
+        if node.parent_id is None:
+            return []
+        return self.siblings(node.parent_id)
+
+    def ancestors(self, node_id: str) -> list[TaxonomyNode]:
+        """Ancestors from direct parent up to (and including) the root."""
+        chain = []
+        current = self.parent(node_id)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current.node_id)
+        return chain
+
+    def root_of(self, node_id: str) -> TaxonomyNode:
+        """The root of the tree containing ``node_id``."""
+        node = self.node(node_id)
+        while node.parent_id is not None:
+            node = self._nodes[node.parent_id]
+        return node
+
+    def nodes_at_level(self, level: int) -> list[TaxonomyNode]:
+        """All nodes at ``level`` (0 = roots); empty list when absent."""
+        return [self._nodes[i] for i in self._levels.get(level, [])]
+
+    def level_width(self, level: int) -> int:
+        return len(self._levels.get(level, []))
+
+    def level_widths(self) -> list[int]:
+        """Per-level node counts, root level first (Table 1 column)."""
+        return [self.level_width(level) for level in range(self.num_levels)]
+
+    def leaves(self) -> list[TaxonomyNode]:
+        return [n for n in self._nodes.values() if n.is_leaf]
+
+    def edges(self) -> Iterator[tuple[TaxonomyNode, TaxonomyNode]]:
+        """Yield every (child, parent) Is-A edge."""
+        for node in self._nodes.values():
+            if node.parent_id is not None:
+                yield node, self._nodes[node.parent_id]
+
+    def descendants(self, node_id: str) -> Iterator[TaxonomyNode]:
+        """Yield all strict descendants of ``node_id``, breadth-first."""
+        queue = deque(self.node(node_id).children_ids)
+        while queue:
+            node = self._nodes[queue.popleft()]
+            queue.extend(node.children_ids)
+            yield node
+
+    def is_ancestor(self, ancestor_id: str, node_id: str) -> bool:
+        """True when ``ancestor_id`` lies on the path from node to root."""
+        self.node(ancestor_id)
+        current = self.parent(node_id)
+        while current is not None:
+            if current.node_id == ancestor_id:
+                return True
+            current = self.parent(current.node_id)
+        return False

@@ -1,0 +1,87 @@
+"""Structural validation of taxonomies.
+
+A valid taxonomy is a forest: every non-root node has exactly one parent
+that points back at it, levels equal the distance from the root, there
+are no cycles, and names are non-empty.  ``validate_taxonomy`` collects
+*all* problems before raising so data bugs surface in one pass.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+def collect_problems(taxonomy: Taxonomy) -> list[str]:
+    """Return a (possibly empty) list of structural problems."""
+    problems: list[str] = []
+    seen_child_links: set[str] = set()
+
+    for node in taxonomy:
+        if not node.name or not node.name.strip():
+            problems.append(f"node {node.node_id}: empty name")
+
+        if node.parent_id is None:
+            if node.level != 0:
+                problems.append(
+                    f"node {node.node_id}: root with level {node.level}")
+        else:
+            if node.parent_id not in taxonomy:
+                problems.append(
+                    f"node {node.node_id}: dangling parent "
+                    f"{node.parent_id}")
+                continue
+            parent = taxonomy.node(node.parent_id)
+            if node.node_id not in parent.children_ids:
+                problems.append(
+                    f"node {node.node_id}: parent {parent.node_id} does "
+                    f"not list it as a child")
+            if node.level != parent.level + 1:
+                problems.append(
+                    f"node {node.node_id}: level {node.level} but parent "
+                    f"level {parent.level}")
+
+        for child_id in node.children_ids:
+            if child_id in seen_child_links:
+                problems.append(
+                    f"node {child_id}: linked as a child more than once")
+            seen_child_links.add(child_id)
+            if child_id not in taxonomy:
+                problems.append(
+                    f"node {node.node_id}: dangling child {child_id}")
+            elif taxonomy.node(child_id).parent_id != node.node_id:
+                problems.append(
+                    f"node {node.node_id}: child {child_id} points at a "
+                    f"different parent")
+
+    problems.extend(_cycle_problems(taxonomy))
+    return problems
+
+
+def _cycle_problems(taxonomy: Taxonomy) -> list[str]:
+    """Detect parent chains that never reach a root."""
+    status: dict[str, int] = {}  # 0 = in progress, 1 = safe
+    problems: list[str] = []
+    for node in taxonomy:
+        path = []
+        current: str | None = node.node_id
+        while current is not None and current not in status:
+            status[current] = 0
+            path.append(current)
+            parent = taxonomy.node(current).parent_id
+            if parent is not None and parent not in taxonomy:
+                parent = None  # dangling parents are reported elsewhere
+            elif parent is not None and status.get(parent) == 0:
+                problems.append(f"cycle through node {parent}")
+                parent = None
+            current = parent
+        for visited in path:
+            status[visited] = 1
+    return problems
+
+
+def validate_taxonomy(taxonomy: Taxonomy) -> None:
+    """Raise :class:`ValidationError` when the taxonomy is malformed."""
+    problems = collect_problems(taxonomy)
+    if problems:
+        raise ValidationError(problems)

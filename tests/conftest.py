@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (full synthetic taxonomies, the default oracle) are
+session-scoped; most tests run against a small hand-built taxonomy or
+reduced sample sizes so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.generators.registry import build_taxonomy
+from repro.questions.pools import build_pools
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.node import Domain
+
+
+@pytest.fixture()
+def toy_taxonomy():
+    """A tiny 3-level shopping taxonomy with known structure.
+
+    Electronics -> (Audio -> (Headphones, Speakers, Earbuds),
+                    Video -> (Monitors,))
+    Home        -> (Furniture -> (Chairs,))
+    """
+    builder = TaxonomyBuilder("Toy", Domain.SHOPPING,
+                              concept_noun="products")
+    electronics = builder.add_root("Electronics")
+    home = builder.add_root("Home")
+    audio = builder.add_child(electronics, "Audio")
+    video = builder.add_child(electronics, "Video")
+    furniture = builder.add_child(home, "Furniture")
+    builder.add_child(audio, "Headphones")
+    builder.add_child(audio, "Speakers")
+    builder.add_child(audio, "Earbuds")
+    builder.add_child(video, "Monitors")
+    builder.add_child(furniture, "Chairs")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def ebay_taxonomy():
+    """The smallest real-shaped taxonomy (595 nodes)."""
+    return build_taxonomy("ebay")
+
+
+@pytest.fixture(scope="session")
+def glottolog_taxonomy():
+    return build_taxonomy("glottolog")
+
+
+@pytest.fixture(scope="session")
+def ncbi_taxonomy():
+    return build_taxonomy("ncbi")
+
+
+@pytest.fixture(scope="session")
+def ebay_pools():
+    """Small question pools over eBay for runner tests."""
+    return build_pools("ebay", sample_size=20)
+
+
+@pytest.fixture(scope="session")
+def fast_bench():
+    """A TaxoGlimpse facade with small per-level samples."""
+    return TaxoGlimpse(sample_size=24)

@@ -1,0 +1,193 @@
+"""Tests for error analysis, consistency probes, variants and export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.export import (diff_matrices, load_matrix,
+                               matrix_from_payload, matrix_to_payload,
+                               pool_result_to_payload, save_matrix)
+from repro.core.metrics import Metrics
+from repro.core.runner import EvaluationRunner
+from repro.experiments.consistency import probe_consistency
+from repro.experiments.errors_analysis import (abstention_calibration,
+                                               error_breakdown)
+from repro.experiments.variants import run_variants
+from repro.llm.base import StaticResponder
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+
+
+class TestErrorBreakdown:
+    @pytest.fixture(scope="class")
+    def run(self, ebay_pools):
+        pool = ebay_pools.total_pool(DatasetKind.HARD)
+        runner = EvaluationRunner(keep_records=True)
+        result = runner.evaluate(get_model("GPT-3.5"), pool)
+        return pool, result
+
+    def test_counts_sum_to_total(self, run):
+        pool, result = run
+        breakdown = error_breakdown(pool.questions, result.records)
+        assert breakdown.total == len(pool)
+        assert (breakdown.correct + breakdown.false_yes
+                + breakdown.false_no + breakdown.wrong_option
+                + breakdown.abstained_positive
+                + breakdown.abstained_negative) == breakdown.total
+
+    def test_agrees_with_metrics(self, run):
+        pool, result = run
+        breakdown = error_breakdown(pool.questions, result.records)
+        assert breakdown.correct / breakdown.total \
+            == pytest.approx(result.metrics.accuracy)
+
+    def test_always_yes_is_pure_false_yes(self, ebay_pools):
+        pool = ebay_pools.total_pool(DatasetKind.HARD)
+        runner = EvaluationRunner(keep_records=True)
+        result = runner.evaluate(StaticResponder("yes", "Yes."), pool)
+        breakdown = error_breakdown(pool.questions, result.records)
+        assert breakdown.false_no == 0
+        assert breakdown.false_yes > 0
+        assert breakdown.wrong_option == 0
+
+    def test_unknown_uid_rejected(self, run):
+        pool, result = run
+        with pytest.raises(ValueError):
+            error_breakdown(pool.questions[:1], result.records)
+
+    def test_as_row_keys(self, run):
+        pool, result = run
+        row = error_breakdown(pool.questions, result.records).as_row()
+        assert "false-yes" in row
+        assert row["model"] == "GPT-3.5"
+
+
+class TestAbstentionCalibration:
+    def test_perfectly_calibrated_positive(self):
+        cells = {
+            "easy-tax": Metrics(0.90, 0.02, 100),
+            "mid-tax": Metrics(0.60, 0.20, 100),
+            "hard-tax": Metrics(0.30, 0.50, 100),
+        }
+        assert abstention_calibration(cells) > 0.5
+
+    def test_anticalibrated_negative(self):
+        cells = {
+            "easy-tax": Metrics(0.40, 0.50, 100),   # strong, abstains
+            "hard-tax": Metrics(0.30, 0.00, 100),   # weak, never
+        }
+        assert abstention_calibration(cells) < 0.0
+
+    def test_requires_two_cells(self):
+        with pytest.raises(ValueError):
+            abstention_calibration({"a": Metrics(0.5, 0.1, 10)})
+
+    def test_gpt4_is_desirably_cautious(self, fast_bench):
+        cells = {}
+        for key in ("ebay", "google", "glottolog", "ncbi"):
+            cells[key] = fast_bench.run(
+                "GPT-4", key, DatasetKind.HARD).metrics
+        assert abstention_calibration(cells) > 0.3
+
+
+class TestConsistency:
+    def test_simulated_model_is_mostly_consistent(self):
+        report = probe_consistency(get_model("GPT-4"), "ebay",
+                                   edges=40, chains=40)
+        assert report.edges_probed == 40
+        assert report.symmetry_violation_rate < 0.35
+        assert 0.0 <= report.transitivity_violation_rate <= 1.0
+
+    def test_always_yes_model_violates_symmetry_always(self):
+        report = probe_consistency(StaticResponder("yes", "Yes."),
+                                   "ebay", edges=20, chains=5)
+        assert report.forward_yes == 20
+        assert report.symmetry_violation_rate == 1.0
+        assert report.transitivity_violation_rate == 0.0
+
+    def test_always_no_model_has_no_premises(self):
+        report = probe_consistency(StaticResponder("no", "No."),
+                                   "ebay", edges=10, chains=10)
+        assert report.forward_yes == 0
+        assert report.symmetry_violation_rate == 0.0
+
+    def test_report_row(self):
+        report = probe_consistency(get_model("Flan-T5-3B"), "ebay",
+                                   edges=10, chains=10)
+        row = report.as_row()
+        assert row["taxonomy"] == "ebay"
+        assert "symmetry violations" in row
+
+    def test_deterministic(self):
+        first = probe_consistency(get_model("GPT-4"), "ebay",
+                                  edges=15, chains=15)
+        second = probe_consistency(get_model("GPT-4"), "ebay",
+                                   edges=15, chains=15)
+        assert first == second
+
+
+class TestVariants:
+    def test_spread_is_small_for_simulated_models(self):
+        result = run_variants("GPT-4", "ebay", sample_size=40)
+        assert result.accuracy_spread < 0.06
+        assert len(result.wordings) == 3
+
+    def test_mcq_uses_adjective_variants(self):
+        result = run_variants("GPT-4", "ebay", DatasetKind.MCQ,
+                              sample_size=30)
+        assert "appropriate" in result.wordings
+
+    def test_rows_shape(self):
+        result = run_variants("Flan-T5-3B", "ebay", sample_size=20)
+        rows = result.rows()
+        assert len(rows) == 3
+        assert rows[0]["wording"] == "a type of"
+
+
+class TestExport:
+    def _matrix(self):
+        return {("GPT-4", "ebay"): Metrics(0.92, 0.01, 500),
+                ("GPT-4", "ncbi"): Metrics(0.64, 0.13, 600)}
+
+    def test_payload_round_trip(self):
+        matrix = self._matrix()
+        assert matrix_from_payload(matrix_to_payload(matrix)) == matrix
+
+    def test_file_round_trip(self, tmp_path):
+        matrix = self._matrix()
+        path = tmp_path / "run.json"
+        save_matrix(matrix, path, label="run-1")
+        assert load_matrix(path) == matrix
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_from_payload({"format_version": 99, "cells": []})
+
+    def test_diff_flags_moved_cells(self):
+        before = self._matrix()
+        after = dict(before)
+        after["GPT-4", "ncbi"] = Metrics(0.74, 0.13, 600)
+        drifts = diff_matrices(before, after, tolerance=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].taxonomy == "ncbi"
+        assert drifts[0].delta == pytest.approx(0.10)
+
+    def test_diff_ignores_small_moves(self):
+        before = self._matrix()
+        after = dict(before)
+        after["GPT-4", "ebay"] = Metrics(0.93, 0.01, 500)
+        assert diff_matrices(before, after) == []
+
+    def test_diff_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_matrices({}, {}, tolerance=-0.1)
+
+    def test_pool_result_payload(self, ebay_pools):
+        pool = ebay_pools.level_pool(1, DatasetKind.MCQ)
+        runner = EvaluationRunner(keep_records=True)
+        result = runner.evaluate(get_model("GPT-4"), pool)
+        payload = pool_result_to_payload(result)
+        assert payload["n"] == len(pool)
+        assert len(payload["records"]) == len(pool)
+        assert payload["records"][0]["parsed"] in "ABCD" or \
+            payload["records"][0]["parsed"] in ("idk", "unparseable")

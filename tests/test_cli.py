@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_stats(self, capsys):
+        out = _run(capsys, "stats")
+        assert "NCBI" in out
+        assert "2190125" in out
+
+    def test_datasets(self, capsys):
+        out = _run(capsys, "datasets", "--taxonomies", "ebay",
+                   "--sample", "10")
+        assert "level 1-root" in out
+        assert "total" in out
+
+    def test_table(self, capsys):
+        out = _run(capsys, "table", "--dataset", "hard", "--models",
+                   "GPT-4", "--taxonomies", "ebay", "--sample", "20")
+        assert "GPT-4" in out
+        assert "eBay" in out
+        assert "mean |dA|" in out
+
+    def test_levels(self, capsys):
+        out = _run(capsys, "levels", "--models", "Flan-T5-3B",
+                   "--taxonomies", "ebay", "--sample", "15")
+        assert "level 2-1" in out
+
+    def test_ask_parses_prompt(self, capsys):
+        out = _run(capsys, "ask", "GPT-4",
+                   "Is Zorblax a type of Quux? answer with "
+                   "(Yes/No/I don't know)")
+        assert "know" in out
+
+    def test_case_study(self, capsys):
+        out = _run(capsys, "case-study", "--sample", "30")
+        assert "precision" in out
+        assert "59" in out
+
+    def test_popularity(self, capsys):
+        out = _run(capsys, "popularity")
+        assert "common" in out
+        assert "specialized" in out
+
+    def test_scalability(self, capsys):
+        out = _run(capsys, "scalability")
+        assert "Flan-T5s" in out
+        assert "scaling exponents" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "--models", "GPT-5"])
+
+    def test_unknown_taxonomy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["datasets", "--taxonomies", "wordnet"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliExtensions:
+    def test_consistency(self, capsys):
+        out = _run(capsys, "consistency", "--models", "GPT-4",
+                   "--taxonomies", "ebay", "--edges", "10")
+        assert "symmetry violations" in out
+
+    def test_deploy(self, capsys):
+        out = _run(capsys, "deploy", "--models", "Flan-T5-3B",
+                   "Llama-2-70B")
+        assert "tensor_parallel" in out
+        assert "Llama-2-70B" in out
+
+    def test_deploy_rejects_api_models(self):
+        with pytest.raises(SystemExit):
+            main(["deploy", "--models", "GPT-4"])
+
+    def test_errors_breakdown(self, capsys):
+        out = _run(capsys, "errors", "--model", "GPT-4", "--taxonomy",
+                   "ebay", "--sample", "15")
+        assert "false-yes" in out

@@ -1,0 +1,73 @@
+"""Tests for the GPU deployment planner (paper testbed substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.deployment import (Gpu, paper_fleet, plan_deployment)
+
+
+class TestFleet:
+    def test_paper_fleet_composition(self):
+        fleet = paper_fleet()
+        assert len(fleet) == 12
+        assert sum(1 for gpu in fleet if gpu.ram_gb == 24.0) == 8
+        assert sum(1 for gpu in fleet if gpu.ram_gb == 80.0) == 4
+
+    def test_usable_headroom(self):
+        gpu = Gpu("x", 100.0)
+        assert gpu.usable_gb == pytest.approx(90.0)
+
+
+class TestPlanning:
+    def test_small_model_fits_one_gpu(self):
+        plan = plan_deployment(["Flan-T5-3B"])
+        placement = plan.placement_for("Flan-T5-3B")
+        assert placement.tensor_parallel == 1
+
+    def test_llama_70b_needs_multiple_gpus(self):
+        plan = plan_deployment(["Llama-2-70B"])
+        placement = plan.placement_for("Llama-2-70B")
+        # 143 GB of weights cannot fit one 80 GB card.
+        assert placement.tensor_parallel >= 2
+        assert plan.feasible
+
+    def test_whole_open_source_lineup_fits_paper_fleet(self):
+        models = ["Llama-2-7B", "Llama-2-13B", "Llama-2-70B",
+                  "Flan-T5-3B", "Flan-T5-11B", "Vicuna-7B"]
+        plan = plan_deployment(models)
+        assert plan.feasible
+        assert len(plan.placements) == len(models)
+
+    def test_loads_never_exceed_capacity(self):
+        plan = plan_deployment(["Llama-2-70B", "Falcon-40B",
+                                "Mixtral", "Vicuna-33B"])
+        fleet = {gpu.name: gpu for gpu in paper_fleet()}
+        for name, load in plan.load_gb.items():
+            assert load <= fleet[name].usable_gb + 1e-9
+
+    def test_infeasible_on_tiny_fleet(self):
+        plan = plan_deployment(["Llama-2-70B"],
+                               fleet=[Gpu("small", 8.0)])
+        assert not plan.feasible
+        assert plan.unplaced == ["Llama-2-70B"]
+
+    def test_big_models_placed_first(self):
+        plan = plan_deployment(["Flan-T5-3B", "Llama-2-70B"])
+        assert plan.placements[0].model == "Llama-2-70B"
+
+    def test_unknown_placement_lookup_rejected(self):
+        plan = plan_deployment(["Flan-T5-3B"])
+        with pytest.raises(ModelError):
+            plan.placement_for("GPT-4")
+
+    def test_api_model_rejected(self):
+        with pytest.raises(ModelError):
+            plan_deployment(["GPT-4"])
+
+    def test_rows_shape(self):
+        rows = plan_deployment(["Flan-T5-3B", "Mistral"]).as_rows()
+        assert len(rows) == 2
+        assert {"model", "ram_gb", "gpus", "tensor_parallel"} \
+            == set(rows[0])

@@ -1,0 +1,84 @@
+"""Property test: random edit sequences always commit valid forests."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.edit import TaxonomyEditor
+from repro.taxonomy.node import Domain
+from repro.taxonomy.validate import collect_problems
+
+
+def _base_taxonomy():
+    builder = TaxonomyBuilder("editable", Domain.GENERAL)
+    serial = 0
+    for r in range(3):
+        root = builder.add_root(f"R{r}")
+        for m in range(2):
+            mid = builder.add_child(root, f"M{r}{m}")
+            for _ in range(2):
+                builder.add_child(mid, f"L{serial}")
+                serial += 1
+    return builder.build()
+
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "rename", "move", "prune"]),
+              st.integers(min_value=0, max_value=10_000)),
+    min_size=1, max_size=25)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_random_edit_sequences_keep_the_forest_valid(operations):
+    editor = TaxonomyEditor(_base_taxonomy())
+    serial = 0
+    for operation, pick in operations:
+        node_ids = sorted(editor._nodes)
+        if not node_ids:
+            break
+        target = node_ids[pick % len(node_ids)]
+        try:
+            if operation == "add":
+                editor.add(target, f"New{serial}")
+                serial += 1
+            elif operation == "rename":
+                editor.rename(target, f"Renamed{serial}")
+                serial += 1
+            elif operation == "move":
+                other = node_ids[(pick * 7 + 1) % len(node_ids)]
+                editor.move(target, other)
+            elif operation == "prune":
+                # Never prune the final root: an empty taxonomy
+                # cannot commit and is rejected explicitly anyway.
+                if len(node_ids) > 1:
+                    editor.prune(target)
+        except TaxonomyError:
+            continue  # rejected operations must leave state intact
+    if not editor._nodes:
+        return
+    committed = editor.commit()
+    assert collect_problems(committed) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops)
+def test_edit_log_touches_at_least_one_node_per_record(operations):
+    editor = TaxonomyEditor(_base_taxonomy())
+    for operation, pick in operations:
+        node_ids = sorted(editor._nodes)
+        if len(node_ids) < 2:
+            break
+        target = node_ids[pick % len(node_ids)]
+        try:
+            if operation == "prune":
+                editor.prune(target)
+            elif operation == "rename":
+                editor.rename(target, "x")
+        except TaxonomyError:
+            continue
+    assert all(record.touched_nodes >= 1
+               for record in editor.log.records)

@@ -1,0 +1,144 @@
+"""Tests for taxonomy editing and the cut-level sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.hybrid.membership import MembershipModel
+from repro.hybrid.sweep import (SweepPoint, saving_at_precision,
+                                sweep_cut_levels)
+from repro.taxonomy.edit import TaxonomyEditor
+from repro.taxonomy.validate import collect_problems
+
+
+def _by_name(taxonomy, name):
+    for node in taxonomy:
+        if node.name == name:
+            return node
+    raise AssertionError(name)
+
+
+class TestEditor:
+    def test_add_child(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        audio = _by_name(toy_taxonomy, "Audio")
+        new_id = editor.add(audio.node_id, "Soundbars")
+        edited = editor.commit()
+        assert edited.node(new_id).level == 2
+        assert collect_problems(edited) == []
+
+    def test_add_root(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        editor.add(None, "Garden")
+        assert editor.commit().num_trees == 3
+
+    def test_rename(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        audio = _by_name(toy_taxonomy, "Audio")
+        editor.rename(audio.node_id, "Sound")
+        assert editor.commit().node(audio.node_id).name == "Sound"
+
+    def test_move_relevels_subtree(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        audio = _by_name(toy_taxonomy, "Audio")
+        home = _by_name(toy_taxonomy, "Home")
+        editor.move(audio.node_id, home.node_id)
+        edited = editor.commit()
+        assert edited.parent(audio.node_id).name == "Home"
+        headphones = _by_name(edited, "Headphones")
+        assert headphones.level == 2
+        assert collect_problems(edited) == []
+
+    def test_move_under_self_rejected(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        audio = _by_name(toy_taxonomy, "Audio")
+        headphones = _by_name(toy_taxonomy, "Headphones")
+        with pytest.raises(TaxonomyError):
+            editor.move(audio.node_id, headphones.node_id)
+
+    def test_prune_counts_subtree(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        electronics = _by_name(toy_taxonomy, "Electronics")
+        removed = editor.prune(electronics.node_id)
+        assert removed == 7  # Electronics + 2 children + 4 leaves
+        edited = editor.commit()
+        assert len(edited) == 3
+
+    def test_prune_below_matches_case_study_cut(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        removed = editor.prune_below(1)
+        assert removed == 5  # the five leaves
+        edited = editor.commit()
+        assert edited.num_levels == 2
+
+    def test_log_counts_touched_nodes(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        audio = _by_name(toy_taxonomy, "Audio")
+        home = _by_name(toy_taxonomy, "Home")
+        editor.rename(audio.node_id, "Sound")     # 1 touch
+        editor.move(audio.node_id, home.node_id)  # 4 touches (subtree)
+        assert editor.log.total_touched == 5
+        assert editor.log.count("rename") == 1
+
+    def test_unknown_node_rejected(self, toy_taxonomy):
+        with pytest.raises(TaxonomyError):
+            TaxonomyEditor(toy_taxonomy).rename("ghost", "X")
+
+    def test_empty_name_rejected(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        root = _by_name(toy_taxonomy, "Home")
+        with pytest.raises(TaxonomyError):
+            editor.add(root.node_id, "  ")
+
+    def test_base_taxonomy_is_untouched(self, toy_taxonomy):
+        editor = TaxonomyEditor(toy_taxonomy)
+        electronics = _by_name(toy_taxonomy, "Electronics")
+        editor.prune(electronics.node_id)
+        assert len(toy_taxonomy) == 10  # original unchanged
+
+
+class TestCutSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_cut_levels(sample_size=50)
+
+    def test_covers_all_cut_levels(self, points):
+        assert [point.cut_level for point in points] == [3, 2, 1, 0]
+
+    def test_saving_grows_as_cut_rises(self, points):
+        savings = [point.maintenance_saving for point in points]
+        assert savings == sorted(savings)
+
+    def test_precision_decays_as_cut_rises(self, points):
+        assert points[0].precision > points[-1].precision + 0.1
+
+    def test_level3_point_matches_case_study(self, points):
+        level3 = points[0]
+        assert level3.cut_level == 3
+        assert level3.maintenance_saving == pytest.approx(0.588,
+                                                          abs=0.005)
+        assert level3.precision == pytest.approx(0.713, abs=0.06)
+
+    def test_recall_stays_flat(self, points):
+        recalls = [point.recall for point in points]
+        assert max(recalls) - min(recalls) < 0.05
+
+    def test_saving_at_precision_picks_frontier(self, points):
+        pick = saving_at_precision(points, floor=0.5)
+        assert pick is not None
+        assert pick.precision >= 0.5
+        for other in points:
+            if other.precision >= 0.5:
+                assert pick.maintenance_saving \
+                    >= other.maintenance_saving
+
+    def test_saving_at_impossible_floor(self, points):
+        assert saving_at_precision(points, floor=1.01) is None
+
+    def test_custom_membership_model(self):
+        perfect = MembershipModel(recall_rate=1.0,
+                                  false_positive_rate=0.0)
+        points = sweep_cut_levels(sample_size=10, membership=perfect)
+        assert all(point.precision == 1.0 for point in points)
+        assert all(isinstance(point, SweepPoint) for point in points)

@@ -1,0 +1,185 @@
+"""Tests for the experiment runners (fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.analysis import (domain_gaps, size_scaling_steps,
+                                        tuning_effect)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets import table4_rows
+from repro.experiments.instances import run_instance_typing
+from repro.experiments.levels import FIGURE3_KEYS, run_levels
+from repro.experiments.overall import run_overall
+from repro.experiments.popularity import (common_beat_specialized,
+                                          figure2_rows)
+from repro.experiments.prompting import run_prompting
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scalability import (efficiency_summary,
+                                           figure7_rows,
+                                           well_scaling_series)
+from repro.experiments.statistics import table1_rows
+from repro.llm.prompting import PromptSetting
+from repro.llm.registry import SERIES
+from repro.questions.model import DatasetKind
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def fast_overall(fast_config):
+    return run_overall(DatasetKind.HARD, fast_config)
+
+
+class TestTable1:
+    def test_ten_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 10
+
+    def test_paper_entities_exact(self):
+        rows = {row["taxonomy"]: row for row in table1_rows()}
+        assert rows["NCBI"]["entities (paper)"] == 2190125
+        assert rows["eBay"]["entities (paper)"] == 595
+
+    def test_built_matches_paper_when_under_cap(self):
+        rows = {row["taxonomy"]: row for row in table1_rows()}
+        for name in ("eBay", "Google", "Schema", "ACM-CCS", "GeoNames",
+                     "Glottolog", "ICD-10-CM", "OAE"):
+            assert rows[name]["entities (built)"] \
+                == rows[name]["entities (paper)"]
+
+
+class TestTable4:
+    def test_rows_cover_requested_taxonomies(self, fast_config):
+        rows = table4_rows(fast_config)
+        assert {row["taxonomy"] for row in rows} \
+            == set(fast_config.taxonomy_keys)
+
+    def test_total_rows_present(self, fast_config):
+        rows = table4_rows(fast_config)
+        totals = [row for row in rows if row["level"] == "total"]
+        assert len(totals) == len(fast_config.taxonomy_keys)
+
+
+class TestOverall:
+    def test_cells_cover_matrix(self, fast_config, fast_overall):
+        assert len(fast_overall.cells) \
+            == len(fast_config.models) * len(fast_config.taxonomy_keys)
+
+    def test_deltas_are_small_even_at_fast_scale(self, fast_overall):
+        assert fast_overall.mean_abs_accuracy_delta < 0.12
+        assert fast_overall.mean_abs_miss_delta < 0.10
+
+    def test_worst_cells_sorted(self, fast_overall):
+        worst = fast_overall.worst_cells(3)
+        deltas = [abs(cell.accuracy_delta) for cell in worst]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_matrix_view(self, fast_overall):
+        matrix = fast_overall.matrix()
+        assert ("GPT-4", "ebay") in matrix
+
+
+class TestLevels:
+    def test_series_shape(self, fast_config):
+        series = run_levels(fast_config)
+        expected_keys = [key for key in fast_config.taxonomy_keys
+                         if key in FIGURE3_KEYS]
+        assert len(series) \
+            == len(expected_keys) * len(fast_config.models)
+        for entry in series:
+            assert len(entry.levels) == len(entry.accuracies)
+
+    def test_geonames_excluded(self):
+        assert "geonames" not in FIGURE3_KEYS
+
+
+class TestPrompting:
+    def test_radar_points_cover_settings(self, fast_config):
+        result = run_prompting(fast_config, models=("GPT-4",))
+        settings = {point.setting for point in result.points}
+        assert settings == {"zero-shot", "few-shot", "cot"}
+
+    def test_average_helper(self, fast_config):
+        result = run_prompting(fast_config, models=("GPT-4",))
+        value = result.average("GPT-4", PromptSetting.ZERO_SHOT)
+        assert 0.0 <= value <= 1.0
+
+
+class TestInstanceTyping:
+    def test_series_only_for_supported_taxonomies(self):
+        config = ExperimentConfig.fast(
+            models=("GPT-4",),
+            taxonomy_keys=("ebay", "glottolog"))
+        series = run_instance_typing(config)
+        assert {entry.taxonomy_key for entry in series} \
+            == {"glottolog"}
+
+
+class TestScalabilityAndPopularity:
+    def test_figure7_rows(self):
+        rows = figure7_rows()
+        assert len(rows) == 14
+        assert all(row["gpu_ram_gb"] > 0 for row in rows)
+
+    def test_efficiency_summary_keys(self):
+        assert set(efficiency_summary()) == set(
+            s for s in SERIES if s not in ("GPTs",))
+
+    def test_well_scaling_series(self):
+        good = well_scaling_series()
+        assert "Flan-T5s" in good
+
+    def test_figure2_rows_sorted_descending(self):
+        rows = figure2_rows(sample=50)
+        hits = [row["mean_hits"] for row in rows]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_common_beats_specialized(self):
+        assert common_beat_specialized()
+
+
+class TestAnalysis:
+    def test_domain_gaps_positive_for_strong_models(self, fast_overall):
+        gaps = {gap.model: gap
+                for gap in domain_gaps(fast_overall.matrix())}
+        assert gaps["GPT-4"].gap > 0.0
+
+    def test_size_scaling_steps(self):
+        config = ExperimentConfig(
+            sample_size=24,
+            models=("Llama-2-7B", "Llama-2-13B", "Falcon-7B",
+                    "Falcon-40B"),
+            taxonomy_keys=("ebay", "glottolog"))
+        matrix = run_overall(DatasetKind.HARD, config).matrix()
+        steps = size_scaling_steps(matrix, SERIES)
+        by_series = {step.series: step for step in steps}
+        assert by_series["Llama-2s"].improves
+        assert not by_series["Falcons"].improves
+
+    def test_tuning_effect_llms4ol(self, fast_overall):
+        effect = tuning_effect(fast_overall.matrix(), "LLMs4OL",
+                               "Flan-T5-3B")
+        assert effect.uplift > 0.0
+
+    def test_missing_model_raises(self, fast_overall):
+        with pytest.raises(ValueError):
+            tuning_effect(fast_overall.matrix(), "GPT-5", "GPT-4")
+
+
+class TestRegistry:
+    def test_eleven_experiments(self):
+        assert set(EXPERIMENTS) == {"T1", "F2", "T4", "T5", "T6", "T7",
+                                    "F3", "F4", "F6", "F7", "CS"}
+
+    def test_run_experiment_by_id(self):
+        rows = run_experiment("T1")
+        assert len(rows) == 10
+
+    def test_specs_carry_descriptions(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.description
+            assert spec.paper_artifact

@@ -1,0 +1,95 @@
+"""Tests for the ASCII figure renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.ascii import bar_chart, line_chart, radar_table
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"ebay": 100.0, "ncbi": 25.0}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "ebay" in text
+        assert "100" in text
+
+    def test_largest_bar_is_full_width(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        a_line = next(line for line in text.splitlines()
+                      if line.startswith("a"))
+        assert "#" * 10 in a_line
+
+    def test_log_scale_compresses_ratio(self):
+        linear = bar_chart({"a": 1_000_000.0, "b": 1_000.0}, width=20)
+        logged = bar_chart({"a": 1_000_000.0, "b": 1_000.0}, width=20,
+                           log_scale=True)
+        count = lambda text, label: next(  # noqa: E731
+            line for line in text.splitlines()
+            if line.startswith(label)).count("#")
+        assert count(linear, "b") <= 1
+        assert count(logged, "b") >= 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+
+class TestLineChart:
+    def test_axis_and_legend(self):
+        text = line_chart({"GPT-4": [0.9, 0.7, 0.5]},
+                          ["l1", "l2", "l3"], title="F3")
+        assert "F3" in text
+        assert "o=GPT-4" in text
+        assert "l2" in text
+
+    def test_monotone_series_descends_on_grid(self):
+        text = line_chart({"m": [1.0, 0.0]}, ["a", "b"], height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_marker_row = next(i for i, row in enumerate(rows)
+                                if "o" in row)
+        last_marker_row = max(i for i, row in enumerate(rows)
+                              if "o" in row)
+        assert first_marker_row < last_marker_row
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({"a": [0.2, 0.4], "b": [0.9, 0.8]},
+                          ["x", "y"])
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [0.1]}, ["x", "y"])
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [0.1, 0.2]}, ["x", "y"], y_min=1.0,
+                       y_max=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, [])
+
+
+class TestRadarTable:
+    def test_layout(self):
+        text = radar_table(("ebay", "ncbi"),
+                           {"zero-shot": [0.9, 0.5],
+                            "few-shot": [0.91, 0.52]}, title="F4")
+        lines = text.splitlines()
+        assert lines[0] == "F4"
+        assert "ebay" in lines[1]
+        assert "0.900" in text
+
+    def test_spoke_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            radar_table(("a",), {"s": [0.1, 0.2]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            radar_table(("a",), {})

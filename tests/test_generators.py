@@ -1,0 +1,214 @@
+"""Tests for the synthetic taxonomy generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.generators.base import (DEFAULT_LEVEL_CAP, generate_taxonomy,
+                                   materialized_width)
+from repro.generators.names import (NamePool, PhraseForge, WordForge,
+                                    camel_case, title_case)
+from repro.generators.registry import (ALL_SPECS, COMMON_KEYS,
+                                       SPECIALIZED_KEYS, TAXONOMY_KEYS,
+                                       build_taxonomy, get_spec)
+from repro.generators.schema_org import camel_tail
+from repro.taxonomy.validate import collect_problems
+
+#: Exact Table 1 shapes the specs must carry.
+_TABLE1 = {
+    "ebay": (595, 3, 13),
+    "amazon": (43814, 5, 41),
+    "google": (5595, 5, 21),
+    "schema": (1346, 6, 3),
+    "acm_ccs": (2113, 5, 13),
+    "geonames": (689, 2, 9),
+    "glottolog": (11969, 6, 245),
+    "icd10cm": (4523, 4, 22),
+    "oae": (9547, 5, 181),
+    "ncbi": (2190125, 7, 53),
+}
+
+
+class TestNameForging:
+    def test_word_forge_deterministic(self):
+        first = WordForge(random.Random(7)).word()
+        second = WordForge(random.Random(7)).word()
+        assert first == second
+
+    def test_proper_is_capitalized(self):
+        word = WordForge(random.Random(1)).proper()
+        assert word[0].isupper()
+
+    def test_suffix_applied(self):
+        word = WordForge(random.Random(1)).word(suffix="ales")
+        assert word.endswith("ales")
+
+    def test_name_pool_guarantees_uniqueness(self):
+        pool = NamePool()
+        names = [pool.claim(lambda: "same") for _ in range(20)]
+        assert len(set(names)) == 20
+
+    def test_name_pool_contains(self):
+        pool = NamePool()
+        name = pool.claim(lambda: "x")
+        assert name in pool
+
+    def test_phrase_forge_unique_phrases(self):
+        forge = PhraseForge(random.Random(3), ["pen"], ["red", "blue"])
+        phrases = {forge.phrase() for _ in range(30)}
+        assert len(phrases) == 30
+
+    def test_phrase_forge_rejects_empty_vocab(self):
+        with pytest.raises(ValueError):
+            PhraseForge(random.Random(0), [], ["x"])
+
+    def test_title_case(self):
+        assert title_case("wireless headphones") == "Wireless Headphones"
+
+    def test_camel_case(self):
+        assert camel_case("trade", "action") == "TradeAction"
+
+    def test_camel_tail(self):
+        assert camel_tail("CompletedPaymentAction") == "PaymentAction"
+        assert camel_tail("Thing") == "Thing"
+
+
+class TestMaterializedWidth:
+    def test_full_scale_respects_cap(self):
+        assert materialized_width(100_000, 1.0, 20_000) == 20_000
+
+    def test_small_levels_fully_materialized(self):
+        assert materialized_width(13, 1.0, 20_000) == 13
+
+    def test_scale_shrinks(self):
+        assert materialized_width(1000, 0.1, 20_000) == 100
+
+    def test_minimum_one_node(self):
+        assert materialized_width(5, 0.0001, 20_000) == 1
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            materialized_width(10, 0.0, 100)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            materialized_width(10, 1.0, 0)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("key", TAXONOMY_KEYS)
+    def test_spec_matches_table1(self, key):
+        entities, levels, trees = _TABLE1[key]
+        spec = get_spec(key)
+        assert spec.num_entities == entities
+        assert spec.num_levels == levels
+        assert spec.num_trees == trees
+
+    def test_ten_taxonomies_registered(self):
+        assert len(ALL_SPECS) == 10
+
+    def test_common_and_specialized_partition(self):
+        assert set(COMMON_KEYS) | set(SPECIALIZED_KEYS) \
+            == set(TAXONOMY_KEYS)
+        assert not set(COMMON_KEYS) & set(SPECIALIZED_KEYS)
+
+    def test_lookup_by_display_name(self):
+        assert get_spec("NCBI").key == "ncbi"
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ReproError):
+            get_spec("wordnet")
+
+
+class TestGeneratedTaxonomies:
+    @pytest.mark.parametrize("key", TAXONOMY_KEYS)
+    def test_generated_taxonomy_is_valid(self, key):
+        taxonomy = build_taxonomy(key)
+        assert collect_problems(taxonomy) == []
+
+    @pytest.mark.parametrize("key", TAXONOMY_KEYS)
+    def test_shape_matches_spec_up_to_cap(self, key):
+        spec = get_spec(key)
+        taxonomy = build_taxonomy(key)
+        assert taxonomy.num_trees == spec.num_trees
+        assert taxonomy.num_levels == spec.num_levels
+        for level, width in enumerate(spec.level_widths):
+            assert taxonomy.level_width(level) \
+                == min(width, DEFAULT_LEVEL_CAP)
+
+    @pytest.mark.parametrize("key", TAXONOMY_KEYS)
+    def test_names_are_unique(self, key):
+        taxonomy = build_taxonomy(key)
+        names = [node.name for node in taxonomy]
+        assert len(names) == len(set(names))
+
+    def test_generation_is_deterministic(self):
+        spec = get_spec("ebay")
+        first = generate_taxonomy(spec)
+        second = generate_taxonomy(spec)
+        assert [n.name for n in first] == [n.name for n in second]
+
+    def test_scale_parameter_shrinks_output(self):
+        spec = get_spec("glottolog")
+        small = generate_taxonomy(spec, scale=0.1)
+        assert len(small) < 0.2 * sum(
+            min(w, DEFAULT_LEVEL_CAP) for w in spec.level_widths)
+
+    def test_most_children_have_uncles(self, glottolog_taxonomy):
+        # Hard-negative availability: the branching concentration must
+        # leave the vast majority of children with at least one uncle.
+        for level in range(1, glottolog_taxonomy.num_levels):
+            children = glottolog_taxonomy.nodes_at_level(level)
+            with_uncles = sum(
+                1 for child in children
+                if glottolog_taxonomy.uncles(child.node_id))
+            assert with_uncles / len(children) > 0.75
+
+
+class TestDomainFlavour:
+    def test_ncbi_species_embed_genus(self, ncbi_taxonomy):
+        species = ncbi_taxonomy.nodes_at_level(6)[:200]
+        embedding = sum(
+            1 for s in species
+            if s.name.startswith(
+                ncbi_taxonomy.parent(s.node_id).name + " "))
+        assert embedding == len(species)
+
+    def test_ncbi_orders_end_in_rank_suffix(self, ncbi_taxonomy):
+        orders = ncbi_taxonomy.nodes_at_level(3)[:100]
+        suffixed = sum(1 for o in orders
+                       if o.name.endswith(("ales", "formes", "ida")))
+        assert suffixed == len(orders)
+
+    def test_oae_leaves_mostly_contain_parent_name(self):
+        taxonomy = build_taxonomy("oae")
+        leaves = taxonomy.nodes_at_level(4)
+        containing = sum(
+            1 for leaf in leaves
+            if taxonomy.parent(leaf.node_id).name in leaf.name)
+        assert containing / len(leaves) > 0.75
+
+    def test_icd_deepest_level_extends_parent(self):
+        taxonomy = build_taxonomy("icd10cm")
+        entities = taxonomy.nodes_at_level(3)[:200]
+        extending = sum(
+            1 for e in entities
+            if e.name.startswith(taxonomy.parent(e.node_id).name))
+        assert extending == len(entities)
+
+    def test_schema_names_are_camel_case(self):
+        taxonomy = build_taxonomy("schema")
+        for node in taxonomy.nodes_at_level(2)[:50]:
+            assert " " not in node.name
+            assert node.name[0].isupper()
+
+    def test_glottolog_leaf_names_rarely_contain_parent(self):
+        taxonomy = build_taxonomy("glottolog")
+        leaves = taxonomy.nodes_at_level(5)
+        containing = sum(
+            1 for leaf in leaves
+            if taxonomy.parent(leaf.node_id).name in leaf.name)
+        assert containing / len(leaves) < 0.35

@@ -1,0 +1,147 @@
+"""Tests for the hybrid taxonomy and the Section 5.3 case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.hybrid.case_study import (CaseStudyConfig, run_case_study,
+                                     spec_maintenance_saving)
+from repro.hybrid.hybrid_taxonomy import HybridTaxonomy
+from repro.hybrid.membership import MembershipModel
+from repro.llm.base import StaticResponder
+from repro.llm.registry import get_model
+
+
+def _by_name(taxonomy, name):
+    for node in taxonomy:
+        if node.name == name:
+            return node
+    raise AssertionError(name)
+
+
+class TestHybridTaxonomy:
+    def test_cut_level_bounds(self, toy_taxonomy):
+        with pytest.raises(TaxonomyError):
+            HybridTaxonomy(toy_taxonomy, 5, StaticResponder("m", "No."))
+
+    def test_explicit_nodes_below_cut_are_virtual(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        leaf = _by_name(toy_taxonomy, "Headphones")
+        assert leaf.node_id not in hybrid
+        with pytest.raises(TaxonomyError):
+            hybrid.node(leaf.node_id)
+
+    def test_explicit_navigation_works(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        audio = _by_name(toy_taxonomy, "Audio")
+        assert hybrid.parent(audio.node_id).name == "Electronics"
+
+    def test_children_stop_at_frontier(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        audio = _by_name(toy_taxonomy, "Audio")
+        assert hybrid.children(audio.node_id) == []
+
+    def test_saving_fraction(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        assert hybrid.saving.removed_entities == 5
+        assert hybrid.saving.fraction == pytest.approx(0.5)
+
+    def test_frontier(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        assert {n.name for n in hybrid.frontier()} \
+            == {"Audio", "Video", "Furniture"}
+
+    def test_locate_with_always_yes_returns_first(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "Yes."))
+        located = hybrid.locate("Pencil")
+        assert located is hybrid.frontier()[0]
+
+    def test_locate_with_always_no_returns_none(self, toy_taxonomy):
+        hybrid = HybridTaxonomy(toy_taxonomy, 1,
+                                StaticResponder("m", "No."))
+        assert hybrid.locate("Pencil") is None
+
+    def test_locate_with_simulated_model_on_real_taxonomy(
+            self, ebay_taxonomy):
+        # A strong simulated model locates a leaf's real parent among
+        # the frontier candidates most of the time.
+        hybrid = HybridTaxonomy(ebay_taxonomy, 1, get_model("GPT-4"))
+        hits = 0
+        leaves = ebay_taxonomy.nodes_at_level(2)[:20]
+        for leaf in leaves:
+            located = hybrid.locate(
+                leaf.name,
+                candidates=[ebay_taxonomy.parent(leaf.node_id)])
+            if located is not None:
+                hits += 1
+        assert hits >= 15
+
+
+class TestMembershipModel:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            MembershipModel(recall_rate=1.5)
+
+    def test_deterministic(self):
+        model = MembershipModel()
+        assert model.keeps("p", "c", True) == model.keeps("p", "c", True)
+
+    def test_extreme_rates(self):
+        perfect = MembershipModel(recall_rate=1.0,
+                                  false_positive_rate=0.0)
+        assert perfect.keeps("p", "c", True)
+        assert not perfect.keeps("p", "c", False)
+
+    def test_filter_products(self):
+        perfect = MembershipModel(recall_rate=1.0,
+                                  false_positive_rate=0.0)
+        kept = perfect.filter_products("c", ["a", "b"], ["x", "y"])
+        assert kept == {"a", "b"}
+
+    def test_calibrated_rates_are_rough_long_run_frequencies(self):
+        model = MembershipModel()
+        kept = sum(model.keeps(f"product-{i}", "c", True)
+                   for i in range(2000))
+        assert abs(kept / 2000 - model.recall_rate) < 0.03
+
+
+class TestCaseStudy:
+    def test_spec_saving_matches_paper_59_percent(self):
+        assert spec_maintenance_saving("amazon", 3) \
+            == pytest.approx(25777 / 43814)
+
+    def test_small_run_shape(self):
+        result = run_case_study(CaseStudyConfig(sample_size=60),
+                                keep_per_concept=True)
+        assert result.concepts_evaluated == 60
+        assert len(result.per_concept) == 60
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert result.f1 > 0.0
+
+    def test_full_run_matches_paper_precision_recall(self):
+        result = run_case_study()
+        assert result.precision == pytest.approx(0.713, abs=0.04)
+        assert result.recall == pytest.approx(0.792, abs=0.04)
+        assert result.maintenance_saving == pytest.approx(0.588,
+                                                          abs=0.005)
+
+    def test_case_study_deterministic(self):
+        config = CaseStudyConfig(sample_size=40)
+        assert run_case_study(config) == run_case_study(config)
+
+    def test_perfect_membership_gives_perfect_scores(self):
+        config = CaseStudyConfig(
+            sample_size=20,
+            membership=MembershipModel(recall_rate=1.0,
+                                       false_positive_rate=0.0))
+        result = run_case_study(config)
+        assert result.precision == 1.0
+        assert result.recall == 1.0

@@ -1,0 +1,132 @@
+"""Tests for instance typing datasets (Section 4.5) and products."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuestionGenerationError
+from repro.generators.products import (category_head, product_names,
+                                       products_for_node)
+from repro.questions.instance_typing import (INSTANCE_TYPING_KEYS,
+                                             build_instance_typing_pools,
+                                             collect_instances)
+from repro.questions.model import DatasetKind, QuestionKind
+import random
+
+
+class TestProducts:
+    def test_category_head_last_two_words(self):
+        assert category_head("Wireless Over-Ear Headphones") \
+            == "Over-Ear Headphones"
+
+    def test_category_head_single_word(self):
+        assert category_head("Headphones") == "Headphones"
+
+    def test_products_embed_category_head(self):
+        titles = product_names("Wireless Headphones", 5)
+        assert all("Headphones" in title for title in titles)
+
+    def test_products_are_deterministic(self):
+        assert product_names("Pencils", 4) == product_names("Pencils", 4)
+
+    def test_products_vary_with_seed(self):
+        assert product_names("Pencils", 4, seed="a") \
+            != product_names("Pencils", 4, seed="b")
+
+    def test_products_for_node(self, ebay_taxonomy):
+        leaf = ebay_taxonomy.leaves()[0]
+        titles = products_for_node(ebay_taxonomy, leaf.node_id, 3)
+        assert len(titles) == 3
+
+
+class TestInstanceCollection:
+    def test_leaf_taxonomy_instances_are_deepest_level(
+            self, glottolog_taxonomy):
+        rng = random.Random(0)
+        instances = collect_instances("glottolog", glottolog_taxonomy,
+                                      rng)
+        deepest = glottolog_taxonomy.num_levels - 1
+        assert all(inst.anchor_level == deepest for inst in instances)
+        assert len(instances) \
+            == glottolog_taxonomy.level_width(deepest)
+
+    def test_product_taxonomy_instances_are_titles(self):
+        from repro.generators.registry import build_taxonomy
+        taxonomy = build_taxonomy("google")
+        instances = collect_instances("google", taxonomy,
+                                      random.Random(0))
+        node_names = {node.name for node in taxonomy}
+        assert all(inst.name not in node_names
+                   for inst in instances[:50])
+
+
+class TestInstanceTypingPools:
+    @pytest.fixture(scope="class")
+    def glottolog_typing(self):
+        return build_instance_typing_pools("glottolog",
+                                           sample_size=40)
+
+    def test_six_taxonomies_supported(self):
+        assert set(INSTANCE_TYPING_KEYS) \
+            == {"amazon", "google", "glottolog", "icd10cm", "oae",
+                "ncbi"}
+
+    def test_unsupported_taxonomy_rejected(self):
+        with pytest.raises(QuestionGenerationError):
+            build_instance_typing_pools("geonames")
+
+    def test_target_levels_span_root_to_parent(self, glottolog_typing):
+        levels = glottolog_typing.target_levels
+        assert levels[0] == 0
+        assert max(levels) == 4  # leaf level is 5; ancestors reach 4
+
+    def test_positive_pairs_use_true_ancestors(self, glottolog_typing,
+                                               glottolog_taxonomy):
+        for level in glottolog_typing.target_levels:
+            for question in glottolog_typing.questions(
+                    level, DatasetKind.HARD):
+                if question.kind is not QuestionKind.POSITIVE:
+                    continue
+                assert question.asked_parent_name \
+                    == question.true_parent_name
+                truth = glottolog_taxonomy.node(
+                    question.true_parent_id)
+                assert truth.level == level
+
+    def test_hard_negatives_are_target_siblings(self, glottolog_typing,
+                                                glottolog_taxonomy):
+        questions = glottolog_typing.questions(2, DatasetKind.HARD)
+        negatives = [q for q in questions
+                     if q.kind is QuestionKind.NEGATIVE_HARD]
+        assert negatives
+        for question in negatives:
+            siblings = {
+                node.name for node in glottolog_taxonomy.siblings(
+                    question.true_parent_id)}
+            assert question.asked_parent_name in siblings
+
+    def test_sets_are_balanced(self, glottolog_typing):
+        for level in glottolog_typing.target_levels:
+            for dataset in (DatasetKind.EASY, DatasetKind.HARD):
+                questions = glottolog_typing.questions(level, dataset)
+                positives = sum(
+                    1 for q in questions
+                    if q.kind is QuestionKind.POSITIVE)
+                assert positives * 2 == len(questions)
+
+    def test_total_concatenates(self, glottolog_typing):
+        total = glottolog_typing.total(DatasetKind.HARD)
+        assert len(total) == sum(
+            len(glottolog_typing.questions(level, DatasetKind.HARD))
+            for level in glottolog_typing.target_levels)
+
+    def test_deterministic(self):
+        first = build_instance_typing_pools("icd10cm", sample_size=20)
+        second = build_instance_typing_pools("icd10cm", sample_size=20)
+        assert [q.uid for q in first.total(DatasetKind.HARD)] \
+            == [q.uid for q in second.total(DatasetKind.HARD)]
+
+    def test_product_instance_pools_reach_leaf_level(self):
+        pools = build_instance_typing_pools("google", sample_size=25)
+        # Product targets include the anchor category itself (level 4).
+        assert max(pools.target_levels) == 4

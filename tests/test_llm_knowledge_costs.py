@@ -1,0 +1,122 @@
+"""Tests for the surface heuristic baseline and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import EvaluationRunner
+from repro.errors import ModelError
+from repro.llm.costs import (cost_estimate, fp16_ram_gb,
+                             scaling_efficiency, series_cost_table)
+from repro.llm.knowledge import (SurfaceHeuristicBaseline,
+                                 surface_similarity)
+from repro.questions.model import DatasetKind
+from repro.questions.pools import default_pools
+
+
+class TestSurfaceSimilarity:
+    def test_identical_names(self):
+        assert surface_similarity("Verbascum", "Verbascum") == 1.0
+
+    def test_containment_floor(self):
+        assert surface_similarity("Verbascum chaixii", "Verbascum") \
+            >= 0.5
+
+    def test_disjoint_names(self):
+        assert surface_similarity("Hailu", "Sino-Tibetan") == 0.0
+
+    def test_partial_overlap(self):
+        score = surface_similarity("severe cardiac pain AE",
+                                   "cardiac pain AE")
+        assert 0.5 <= score <= 1.0
+
+    def test_empty_name(self):
+        assert surface_similarity("", "x") == 0.0
+
+    def test_symmetry(self):
+        assert surface_similarity("a b", "b c") \
+            == surface_similarity("b c", "a b")
+
+    def test_hyphens_are_token_separators(self):
+        assert surface_similarity("Hakka-Chinese", "Chinese") > 0.0
+
+
+class TestSurfaceBaseline:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SurfaceHeuristicBaseline(threshold=0.0)
+
+    def test_never_abstains(self):
+        model = SurfaceHeuristicBaseline()
+        pool = default_pools("ncbi", sample_size=20).total_pool(
+            DatasetKind.HARD)
+        result = EvaluationRunner().evaluate(model, pool)
+        assert result.metrics.miss_rate == 0.0
+
+    def test_strong_on_ncbi_species_level(self):
+        # Species embed genus names: surface form alone nails level 6.
+        model = SurfaceHeuristicBaseline()
+        pools = default_pools("ncbi", sample_size=30)
+        leaf = EvaluationRunner().evaluate(
+            model, pools.level_pool(6, DatasetKind.HARD))
+        mid = EvaluationRunner().evaluate(
+            model, pools.level_pool(4, DatasetKind.HARD))
+        assert leaf.metrics.accuracy > 0.9
+        assert leaf.metrics.accuracy > mid.metrics.accuracy + 0.2
+
+    def test_near_chance_on_glottolog_leaves(self):
+        model = SurfaceHeuristicBaseline()
+        pools = default_pools("glottolog", sample_size=30)
+        result = EvaluationRunner().evaluate(
+            model, pools.level_pool(5, DatasetKind.HARD))
+        assert result.metrics.accuracy < 0.75
+
+    def test_free_form_prompt_answers_no(self):
+        assert SurfaceHeuristicBaseline().generate("Hello there") \
+            == "No."
+
+
+class TestCostModel:
+    def test_fp16_ram_close_to_anchors(self):
+        estimate = cost_estimate("Llama-2-7B")
+        assert fp16_ram_gb(7.0) == pytest.approx(estimate.gpu_ram_gb,
+                                                 rel=0.05)
+
+    def test_fp16_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fp16_ram_gb(0.0)
+
+    def test_api_models_not_profiled(self):
+        with pytest.raises(ModelError):
+            cost_estimate("GPT-4")
+
+    def test_series_table_covers_six_series(self):
+        table = series_cost_table()
+        assert set(table) == {"Llama-2s", "Llama-3s", "Flan-T5s",
+                              "Falcons", "Vicunas", "Mistrals"}
+
+    def test_series_members_ascend_in_size(self):
+        for estimates in series_cost_table().values():
+            sizes = [e.params_b for e in estimates]
+            assert sizes == sorted(sizes)
+
+    def test_questions_per_hour(self):
+        estimate = cost_estimate("Flan-T5-3B")
+        assert estimate.questions_per_hour \
+            == pytest.approx(3600 / estimate.seconds_per_question)
+
+    def test_flan_t5_scales_better_than_falcon(self):
+        assert scaling_efficiency("Flan-T5s") \
+            < scaling_efficiency("Falcons")
+
+    def test_good_scalers_match_paper_claim(self):
+        # Paper: Flan-T5s, Vicunas and Llama-3s present relatively
+        # good scalability.
+        good = {series for series in series_cost_table()
+                if scaling_efficiency(series) < 0.45}
+        assert {"Flan-T5s", "Vicunas", "Llama-3s"} <= good
+        assert "Falcons" not in good
+
+    def test_single_member_series_rejected(self):
+        with pytest.raises(ModelError):
+            scaling_efficiency("LLMs4OL")

@@ -1,0 +1,178 @@
+"""Tests for answer parsing, prompt building and prompt inversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PromptError
+from repro.llm.base import StaticResponder
+from repro.llm.prompt_parsing import parse_prompt
+from repro.llm.prompting import (COT_SUFFIX, FEW_SHOT_COUNT,
+                                 PromptSetting, build_prompt,
+                                 few_shot_exemplars)
+from repro.llm.parsing import parse_mcq, parse_true_false
+from repro.questions.model import (Answer, DatasetKind, QuestionKind,
+                                   QuestionType)
+from repro.questions.templates import render_question
+from repro.taxonomy.node import Domain
+
+
+class TestTrueFalseParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("Yes.", Answer.YES),
+        ("yes", Answer.YES),
+        ("No.", Answer.NO),
+        ("  No, that is wrong.", Answer.NO),
+        ("Yes, Hailu is a type of Hakka-Chinese.", Answer.YES),
+        ("I don't know.", Answer.IDK),
+        ("I do not know the answer.", Answer.IDK),
+        ("I'm not sure, I don't know.", Answer.IDK),
+        ("Unable to determine from the given information.", Answer.IDK),
+        ("", Answer.UNPARSEABLE),
+        ("Maybe, it depends.", Answer.UNPARSEABLE),
+    ])
+    def test_basic_cases(self, text, expected):
+        assert parse_true_false(text) is expected
+
+    def test_conclusion_beats_reasoning_mentions(self):
+        text = ("Let's think step by step. One might say yes at first, "
+                "but the correct answer is No.")
+        assert parse_true_false(text) is Answer.NO
+
+    def test_answer_colon_form(self):
+        assert parse_true_false("Answer: yes") is Answer.YES
+
+    def test_yes_embedded_in_sentence(self):
+        assert parse_true_false("The answer would be yes here.") \
+            is Answer.YES
+
+
+class TestMcqParsing:
+    def test_bare_letter(self):
+        assert parse_mcq("B") is Answer.B
+
+    def test_letter_with_parenthesis(self):
+        assert parse_mcq("C) Stationery") is Answer.C
+
+    def test_sentence_with_letter(self):
+        assert parse_mcq("The best option is D) Gadgets.") is Answer.D
+
+    def test_answer_is_letter(self):
+        assert parse_mcq("The answer is A") is Answer.A
+
+    def test_option_text_fallback(self):
+        options = ("Pens", "Stationery", "Desks", "Lamps")
+        assert parse_mcq("It should be Stationery.", options) \
+            is Answer.B
+
+    def test_idk(self):
+        assert parse_mcq("I don't know.") is Answer.IDK
+
+    def test_unparseable(self):
+        assert parse_mcq("Hmm.") is Answer.UNPARSEABLE
+
+    def test_empty(self):
+        assert parse_mcq("  ") is Answer.UNPARSEABLE
+
+
+def _pool(ebay_pools):
+    return ebay_pools.total_pool(DatasetKind.HARD).questions
+
+
+class TestPromptBuilding:
+    def test_zero_shot_is_bare_template(self, ebay_pools):
+        question = _pool(ebay_pools)[0]
+        assert build_prompt(question, PromptSetting.ZERO_SHOT) \
+            == render_question(question)
+
+    def test_cot_appends_suffix(self, ebay_pools):
+        question = _pool(ebay_pools)[0]
+        prompt = build_prompt(question, PromptSetting.COT)
+        assert prompt.endswith(COT_SUFFIX)
+
+    def test_few_shot_has_five_examples(self, ebay_pools):
+        questions = _pool(ebay_pools)
+        prompt = build_prompt(questions[0], PromptSetting.FEW_SHOT,
+                              pool_questions=questions)
+        assert prompt.count("Example:") == FEW_SHOT_COUNT
+        assert prompt.rstrip().endswith(
+            "answer with (Yes/No/I don't know)")
+
+    def test_few_shot_examples_balanced(self, ebay_pools):
+        questions = _pool(ebay_pools)
+        exemplars = few_shot_exemplars(questions, questions[0])
+        yes = sum(1 for e in exemplars
+                  if e.kind is QuestionKind.POSITIVE)
+        assert 2 <= yes <= 3
+
+    def test_few_shot_excludes_target_child(self, ebay_pools):
+        questions = _pool(ebay_pools)
+        target = questions[0]
+        exemplars = few_shot_exemplars(questions, target)
+        assert all(e.child_id != target.child_id for e in exemplars)
+
+    def test_few_shot_deterministic(self, ebay_pools):
+        questions = _pool(ebay_pools)
+        first = few_shot_exemplars(questions, questions[3])
+        second = few_shot_exemplars(questions, questions[3])
+        assert [e.uid for e in first] == [e.uid for e in second]
+
+
+class TestPromptInversion:
+    def test_tf_round_trip(self, ebay_pools):
+        for question in _pool(ebay_pools)[:30]:
+            parsed = parse_prompt(render_question(question))
+            assert parsed.qtype is QuestionType.TRUE_FALSE
+            assert parsed.child_name == question.child_name
+            assert parsed.asked_name == question.asked_parent_name
+            assert parsed.domain_hint is Domain.SHOPPING
+
+    def test_mcq_round_trip(self, ebay_pools):
+        pool = ebay_pools.total_pool(DatasetKind.MCQ).questions
+        for question in pool[:30]:
+            parsed = parse_prompt(render_question(question))
+            assert parsed.qtype is QuestionType.MCQ
+            assert parsed.child_name == question.child_name
+            assert parsed.options == question.options
+
+    def test_variant_round_trip(self, ebay_pools):
+        question = _pool(ebay_pools)[0]
+        parsed = parse_prompt(render_question(question, variant=2))
+        assert parsed.variant == 2
+        assert parsed.child_name == question.child_name
+
+    def test_cot_flag_detected(self, ebay_pools):
+        question = _pool(ebay_pools)[0]
+        parsed = parse_prompt(build_prompt(question, PromptSetting.COT))
+        assert parsed.cot
+        assert parsed.child_name == question.child_name
+
+    def test_shots_counted(self, ebay_pools):
+        questions = _pool(ebay_pools)
+        prompt = build_prompt(questions[0], PromptSetting.FEW_SHOT,
+                              pool_questions=questions)
+        parsed = parse_prompt(prompt)
+        assert parsed.shots == FEW_SHOT_COUNT
+        assert parsed.child_name == questions[0].child_name
+
+    def test_health_template_has_no_domain_hint(self):
+        prompt = ("Is Acute hepatitis a type of Hepatitis? answer "
+                  "with (Yes/No/I don't know)")
+        parsed = parse_prompt(prompt)
+        assert parsed.domain_hint is None
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(PromptError):
+            parse_prompt("   ")
+
+    def test_non_template_prompt_rejected(self):
+        with pytest.raises(PromptError):
+            parse_prompt("Tell me a joke about taxonomies.")
+
+
+class TestStaticResponder:
+    def test_static_responder_is_chat_model(self):
+        from repro.llm.base import ChatModel
+        model = StaticResponder("echo", "Yes.")
+        assert isinstance(model, ChatModel)
+        assert model.generate("anything") == "Yes."

@@ -1,0 +1,196 @@
+"""Tests for the real-dump loaders (fixture-sized dumps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.loaders.glottolog import parse_languoid_csv
+from repro.loaders.google import parse_path_lines
+from repro.loaders.ncbi import (build_ncbi_taxonomy, parse_names,
+                                parse_nodes)
+from repro.loaders.schema_org import parse_types_csv
+
+GOOGLE_LINES = [
+    "# Google_Product_Taxonomy_Version: 2021-09-21",
+    "Animals & Pet Supplies",
+    "Animals & Pet Supplies > Live Animals",
+    "Animals & Pet Supplies > Pet Supplies",
+    "Animals & Pet Supplies > Pet Supplies > Bird Supplies",
+    "Animals & Pet Supplies > Pet Supplies > Cat Supplies",
+    "Apparel & Accessories",
+    "Apparel & Accessories > Clothing",
+]
+
+
+class TestGoogleLoader:
+    def test_shape(self):
+        taxonomy = parse_path_lines(GOOGLE_LINES)
+        assert taxonomy.num_trees == 2
+        assert taxonomy.num_levels == 3
+        assert len(taxonomy) == 7
+
+    def test_paths_share_prefixes(self):
+        taxonomy = parse_path_lines(GOOGLE_LINES)
+        names = {n.name: n for n in taxonomy}
+        bird = names["Bird Supplies"]
+        assert taxonomy.parent(bird.node_id).name == "Pet Supplies"
+        assert taxonomy.root_of(bird.node_id).name \
+            == "Animals & Pet Supplies"
+
+    def test_comments_and_blanks_skipped(self):
+        taxonomy = parse_path_lines(["# comment", "", "A", "A > B"])
+        assert len(taxonomy) == 2
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_path_lines(["A >  > C"])
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_path_lines(["# only a comment"])
+
+    def test_question_pools_work_on_loaded_taxonomy(self):
+        from repro.questions.pools import build_pools
+        taxonomy = parse_path_lines(GOOGLE_LINES)
+        pools = build_pools("google-real", taxonomy, sample_size=2)
+        assert pools.question_levels == [1, 2]
+
+
+NODES_DMP = "\n".join([
+    "1\t|\t1\t|\tno rank\t|",
+    "2\t|\t131567\t|\tsuperkingdom\t|",
+    "131567\t|\t1\t|\tno rank\t|",
+    "1224\t|\t2\t|\tphylum\t|",
+    "28211\t|\t1224\t|\tclass\t|",
+    "766\t|\t28211\t|\torder\t|",
+    "942\t|\t766\t|\tfamily\t|",
+    "943\t|\t942\t|\tgenus\t|",
+    "944\t|\t943\t|\tspecies\t|",
+    "945\t|\t943\t|\tspecies\t|",
+])
+
+NAMES_DMP = "\n".join([
+    "1\t|\troot\t|\t\t|\tscientific name\t|",
+    "2\t|\tBacteria\t|\t\t|\tscientific name\t|",
+    "2\t|\teubacteria\t|\t\t|\tgenbank common name\t|",
+    "1224\t|\tProteobacteria\t|\t\t|\tscientific name\t|",
+    "28211\t|\tAlphaproteobacteria\t|\t\t|\tscientific name\t|",
+    "766\t|\tRickettsiales\t|\t\t|\tscientific name\t|",
+    "942\t|\tAnaplasmataceae\t|\t\t|\tscientific name\t|",
+    "943\t|\tEhrlichia\t|\t\t|\tscientific name\t|",
+    "944\t|\tEhrlichia canis\t|\t\t|\tscientific name\t|",
+    "945\t|\tEhrlichia muris\t|\t\t|\tscientific name\t|",
+])
+
+
+class TestNcbiLoader:
+    def test_parse_nodes(self):
+        nodes = parse_nodes(NODES_DMP.splitlines())
+        assert nodes["2"] == ("131567", "superkingdom")
+
+    def test_parse_names_keeps_scientific_only(self):
+        names = parse_names(NAMES_DMP.splitlines())
+        assert names["2"] == "Bacteria"
+        assert "eubacteria" not in names.values()
+
+    def test_build_seven_rank_chain(self):
+        taxonomy = build_ncbi_taxonomy(
+            parse_nodes(NODES_DMP.splitlines()),
+            parse_names(NAMES_DMP.splitlines()))
+        assert taxonomy.num_levels == 7
+        names = {n.name: n for n in taxonomy}
+        species = names["Ehrlichia canis"]
+        assert taxonomy.parent(species.node_id).name == "Ehrlichia"
+        assert taxonomy.root_of(species.node_id).name == "Bacteria"
+
+    def test_no_rank_nodes_are_skipped(self):
+        taxonomy = build_ncbi_taxonomy(
+            parse_nodes(NODES_DMP.splitlines()),
+            parse_names(NAMES_DMP.splitlines()))
+        assert "root" not in {n.name for n in taxonomy}
+
+    def test_species_are_siblings(self):
+        taxonomy = build_ncbi_taxonomy(
+            parse_nodes(NODES_DMP.splitlines()),
+            parse_names(NAMES_DMP.splitlines()))
+        names = {n.name: n for n in taxonomy}
+        siblings = taxonomy.siblings(names["Ehrlichia canis"].node_id)
+        assert [s.name for s in siblings] == ["Ehrlichia muris"]
+
+    def test_empty_dump_rejected(self):
+        with pytest.raises(TaxonomyError):
+            build_ncbi_taxonomy({}, {})
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_nodes(["justone"])
+
+
+LANGUOID_CSV = """id,family_id,parent_id,name,level
+sino1245,,,Sino-Tibetan,family
+sini1245,sino1245,sino1245,Sinitic,family
+midd1344,sino1245,sini1245,Middle-Modern Sinitic,family
+hakk1236,sino1245,midd1344,Hakka-Chinese,language
+hail1247,sino1245,hakk1236,Hailu,dialect
+aust1307,,,Austronesian,family
+"""
+
+
+class TestGlottologLoader:
+    def test_shape(self):
+        taxonomy = parse_languoid_csv(LANGUOID_CSV)
+        assert taxonomy.num_trees == 2
+        assert taxonomy.num_levels == 5
+
+    def test_example_chain_from_the_paper(self):
+        taxonomy = parse_languoid_csv(LANGUOID_CSV)
+        names = {n.name: n for n in taxonomy}
+        hailu = names["Hailu"]
+        chain = [a.name for a in taxonomy.ancestors(hailu.node_id)]
+        assert chain == ["Hakka-Chinese", "Middle-Modern Sinitic",
+                         "Sinitic", "Sino-Tibetan"]
+
+    def test_truncation_below_max_levels(self):
+        taxonomy = parse_languoid_csv(LANGUOID_CSV, max_levels=3)
+        assert "Hakka-Chinese" not in {n.name for n in taxonomy}
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_languoid_csv("id,name\nx,Thing\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_languoid_csv("id,parent_id,name\n")
+
+
+TYPES_CSV = """id,label,subTypeOf
+https://schema.org/Thing,Thing,
+https://schema.org/Action,Action,https://schema.org/Thing
+https://schema.org/TradeAction,TradeAction,https://schema.org/Action
+https://schema.org/BuyAction,BuyAction,https://schema.org/TradeAction
+https://schema.org/CreativeWork,CreativeWork,https://schema.org/Thing
+https://schema.org/HowTo,HowTo,"https://schema.org/CreativeWork, https://schema.org/Thing"
+"""
+
+
+class TestSchemaLoader:
+    def test_shape(self):
+        taxonomy = parse_types_csv(TYPES_CSV)
+        assert taxonomy.num_trees == 1
+        assert len(taxonomy) == 6
+
+    def test_first_supertype_wins_for_multi_parents(self):
+        taxonomy = parse_types_csv(TYPES_CSV)
+        names = {n.name: n for n in taxonomy}
+        assert taxonomy.parent(names["HowTo"].node_id).name \
+            == "CreativeWork"
+
+    def test_levels_follow_subtype_chains(self):
+        taxonomy = parse_types_csv(TYPES_CSV)
+        names = {n.name: n for n in taxonomy}
+        assert names["BuyAction"].level == 3
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(TaxonomyError):
+            parse_types_csv("id,label\nx,y\n")

@@ -1,0 +1,97 @@
+"""Coverage for small behaviours not exercised elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import TaxoGlimpse
+from repro.core.runner import EvaluationRunner
+from repro.errors import (ReproError, UnknownModelError,
+                          UnknownNodeError, ValidationError)
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.templates import TF_ANSWER_SUFFIX
+
+
+class TestErrors:
+    def test_unknown_node_message(self):
+        error = UnknownNodeError("x42")
+        assert "x42" in str(error)
+        assert isinstance(error, ReproError)
+
+    def test_validation_error_collects_problems(self):
+        error = ValidationError(["a", "b"])
+        assert error.problems == ["a", "b"]
+        assert "a; b" in str(error)
+
+    def test_unknown_model_lists_known(self):
+        error = UnknownModelError("GPT-5", known=["GPT-4"])
+        assert "GPT-4" in str(error)
+
+
+class TestBaseChatModel:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            BaseChatModel("x")  # type: ignore[abstract]
+
+    def test_subclass_counts_prompts(self):
+        class Echo(BaseChatModel):
+            def _respond(self, prompt: str) -> str:
+                return prompt
+
+        model = Echo("echo")
+        model.generate("one")
+        model.generate("two")
+        assert model.prompts_served == 2
+
+    def test_empty_name_rejected(self):
+        class Echo(BaseChatModel):
+            def _respond(self, prompt: str) -> str:
+                return prompt
+
+        with pytest.raises(ValueError):
+            Echo("")
+
+
+class TestTemplateConstants:
+    def test_tf_suffix_matches_table2(self):
+        assert TF_ANSWER_SUFFIX == "answer with (Yes/No/I don't know)"
+
+    def test_dataset_kind_values(self):
+        assert {kind.value for kind in DatasetKind} \
+            == {"easy", "hard", "mcq"}
+
+
+class TestRunnerVariants:
+    def test_variant_changes_prompt_not_outcome_much(self, ebay_pools):
+        pool = ebay_pools.total_pool(DatasetKind.HARD)
+        base = EvaluationRunner(variant=0).evaluate(
+            get_model("Flan-T5-11B"), pool)
+        other = EvaluationRunner(variant=2).evaluate(
+            get_model("Flan-T5-11B"), pool)
+        assert abs(base.metrics.accuracy - other.metrics.accuracy) \
+            < 0.1
+
+    def test_record_str(self, ebay_pools):
+        pool = ebay_pools.level_pool(1, DatasetKind.MCQ)
+        result = EvaluationRunner().evaluate(get_model("GPT-4"), pool)
+        text = str(result)
+        assert "GPT-4" in text
+        assert "A=" in text
+
+
+class TestFacadeEdges:
+    def test_format_table_with_custom_model_names(self):
+        from repro.core.metrics import Metrics
+        bench = TaxoGlimpse(sample_size=10)
+        matrix = {("my-custom-model", "ebay"): Metrics(0.5, 0.1, 10)}
+        text = bench.format_table(matrix)
+        assert "my-custom-model" in text
+
+    def test_resolve_model_passthrough(self):
+        model = get_model("GPT-4")
+        assert TaxoGlimpse.resolve_model(model) is model
+
+    def test_resolve_model_by_name(self):
+        assert TaxoGlimpse.resolve_model("GPT-4").name == "GPT-4"

@@ -1,0 +1,118 @@
+"""Tests for the popularity estimator and the embedded paper anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.paper_figures import (LEVEL_SHAPES, PROMPTING_EFFECTS,
+                                      SCALABILITY, latent_accuracy)
+from repro.data.paper_tables import (MODEL_ORDER, PAPER_RESULTS,
+                                     TAXONOMY_ORDER, paper_anchor)
+from repro.generators.registry import TAXONOMY_KEYS, get_spec
+from repro.popularity.estimator import (concept_hits,
+                                        estimate_popularity,
+                                        popularity_ranking)
+
+
+class TestPopularity:
+    def test_hits_deterministic(self):
+        assert concept_hits("ebay", "Electronics") \
+            == concept_hits("ebay", "Electronics")
+
+    def test_hits_positive(self):
+        for key in TAXONOMY_KEYS:
+            assert concept_hits(key, "anything") > 0
+
+    def test_estimate_samples_100_by_default(self):
+        estimate = estimate_popularity("ebay")
+        assert estimate.sample_size == 100
+
+    def test_estimate_caps_at_population(self):
+        estimate = estimate_popularity("ebay", sample=10_000)
+        assert estimate.sample_size == 595
+
+    def test_ranking_covers_all_taxonomies(self):
+        ranking = popularity_ranking(sample=30)
+        assert {est.taxonomy_key for est in ranking} \
+            == set(TAXONOMY_KEYS)
+
+    def test_ebay_most_popular_ncbi_least(self):
+        ranking = popularity_ranking()
+        assert ranking[0].taxonomy_key == "ebay"
+        assert ranking[-1].taxonomy_key == "ncbi"
+
+    def test_seed_changes_sample(self):
+        first = estimate_popularity("amazon", seed="a")
+        second = estimate_popularity("amazon", seed="b")
+        assert first.mean_hits != second.mean_hits
+
+
+class TestPaperAnchors:
+    def test_all_models_present_in_all_tables(self):
+        for table in PAPER_RESULTS.values():
+            assert set(table) == set(MODEL_ORDER)
+            for row in table.values():
+                assert set(row) == set(TAXONOMY_ORDER)
+
+    def test_accuracy_plus_miss_at_most_one(self):
+        for kind, table in PAPER_RESULTS.items():
+            for model, row in table.items():
+                for key, (accuracy, miss) in row.items():
+                    assert accuracy + miss <= 1.0 + 1e-9, \
+                        (kind, model, key)
+
+    def test_values_in_unit_interval(self):
+        for table in PAPER_RESULTS.values():
+            for row in table.values():
+                for accuracy, miss in row.values():
+                    assert 0.0 <= accuracy <= 1.0
+                    assert 0.0 <= miss <= 1.0
+
+    def test_known_spot_values(self):
+        # A few cells transcribed twice as a typo tripwire.
+        assert paper_anchor("hard", "GPT-4", "icd10cm") == (.917, .001)
+        assert paper_anchor("easy", "Llama-3-8B", "schema") \
+            == (.819, .000)
+        assert paper_anchor("mcq", "Falcon-7B", "google") \
+            == (.275, .000)
+        assert paper_anchor("hard", "LLMs4OL", "glottolog") \
+            == (.711, .000)
+
+    def test_zero_miss_models(self):
+        for kind in ("easy", "hard", "mcq"):
+            for model in ("Flan-T5-3B", "Flan-T5-11B", "LLMs4OL"):
+                for key in TAXONOMY_ORDER:
+                    assert paper_anchor(kind, model, key)[1] == 0.0
+
+    def test_level_shapes_lengths_match_question_levels(self):
+        for key in TAXONOMY_KEYS:
+            assert len(LEVEL_SHAPES[key]) \
+                == get_spec(key).num_levels - 1
+
+    def test_ncbi_shape_has_leaf_uplift(self):
+        shape = LEVEL_SHAPES["ncbi"]
+        assert shape[-1] > shape[-2]
+        assert min(shape) < 0 < max(shape)
+
+    def test_oae_shape_rises(self):
+        shape = LEVEL_SHAPES["oae"]
+        assert shape[-1] > shape[0]
+
+    def test_prompting_effects_cover_all_models(self):
+        assert set(PROMPTING_EFFECTS) == set(MODEL_ORDER)
+
+    def test_fewshot_factors_never_increase_miss(self):
+        for few, _ in PROMPTING_EFFECTS.values():
+            assert 0.0 < few <= 1.0
+
+    def test_cot_factors_never_decrease_miss(self):
+        for _, cot in PROMPTING_EFFECTS.values():
+            assert cot >= 1.0
+
+    def test_scalability_covers_open_models(self):
+        api_only = {"GPT-3.5", "GPT-4", "Claude-3"}
+        assert set(SCALABILITY) == set(MODEL_ORDER) - api_only
+
+    def test_latent_accuracy_bounds(self):
+        for model in MODEL_ORDER:
+            assert 0.0 < latent_accuracy(model) < 1.0

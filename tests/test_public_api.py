@@ -1,0 +1,80 @@
+"""Public API surface checks: imports, docs, and integration smoke."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro.llm.oracle import default_oracle
+from repro.llm.prompt_parsing import parse_prompt
+from repro.questions.instance_typing import build_instance_typing_pools
+from repro.questions.model import DatasetKind, QuestionKind
+from repro.questions.templates import render_question
+
+PUBLIC_MODULES = [
+    "repro.taxonomy", "repro.generators", "repro.questions",
+    "repro.llm", "repro.core", "repro.hybrid", "repro.popularity",
+    "repro.experiments", "repro.stats", "repro.data", "repro.loaders",
+    "repro.figures", "repro.errors", "repro.cli", "repro.search",
+]
+
+
+class TestApiSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_public_modules_import_and_are_documented(self,
+                                                      module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a docstring"
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES[:-2])
+    def test_package_all_entries_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_public_classes_documented(self):
+        for name in ("TaxoGlimpse", "Taxonomy", "TaxonomyBuilder",
+                     "SimulatedLLM", "HybridTaxonomy",
+                     "EvaluationRunner"):
+            assert getattr(repro, name).__doc__
+
+
+class TestProductInstanceOracle:
+    """The oracle grounds product-instance prompts (Fig. 6 pipeline)."""
+
+    @pytest.fixture(scope="class")
+    def typing_pools(self):
+        return build_instance_typing_pools("google", sample_size=15)
+
+    def test_product_positive_pairs_resolve_true(self, typing_pools):
+        oracle = default_oracle()
+        resolved = 0
+        for question in typing_pools.total(DatasetKind.HARD):
+            if question.kind is not QuestionKind.POSITIVE:
+                continue
+            resolution = oracle.resolve(
+                parse_prompt(render_question(question)))
+            assert resolution is not None
+            assert resolution.truth
+            assert resolution.is_instance
+            resolved += 1
+        assert resolved > 0
+
+    def test_product_negative_pairs_resolve_false(self, typing_pools):
+        oracle = default_oracle()
+        for question in typing_pools.total(DatasetKind.HARD)[:40]:
+            if question.kind is QuestionKind.POSITIVE:
+                continue
+            resolution = oracle.resolve(
+                parse_prompt(render_question(question)))
+            assert resolution is not None
+            assert not resolution.truth

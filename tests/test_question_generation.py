@@ -1,0 +1,149 @@
+"""Tests for question generation, pools and Table 4 statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuestionGenerationError
+from repro.questions.generation import generate_level_questions
+from repro.questions.model import (DatasetKind, QuestionKind,
+                                   QuestionType)
+from repro.questions.pools import build_pools, default_pools
+
+
+class TestLevelGeneration:
+    def test_sample_size_respected(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 1,
+                                             sample_size=10)
+        assert len(generated.positives) == 10
+
+    def test_positive_questions_ask_the_true_parent(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=25)
+        for question in generated.positives:
+            assert question.asked_parent_name \
+                == question.true_parent_name
+            assert question.kind is QuestionKind.POSITIVE
+
+    def test_easy_negatives_are_same_level_non_parents(
+            self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=25)
+        parent_level_names = {
+            node.name for node in ebay_taxonomy.nodes_at_level(1)}
+        for question in generated.negatives_easy:
+            assert question.asked_parent_name in parent_level_names
+            assert question.asked_parent_name \
+                != question.true_parent_name
+
+    def test_hard_negatives_are_uncles(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=25)
+        for question in generated.negatives_hard:
+            uncles = {node.name for node in
+                      ebay_taxonomy.uncles(question.child_id)}
+            assert question.asked_parent_name in uncles
+
+    def test_mcq_contains_truth_exactly_once(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=25)
+        for question in generated.mcqs:
+            assert question.options.count(
+                question.true_parent_name) == 1
+            assert question.options[question.answer_index] \
+                == question.true_parent_name
+
+    def test_mcq_options_are_distinct(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=25)
+        for question in generated.mcqs:
+            assert len(set(question.options)) == 4
+
+    def test_level_zero_rejected(self, ebay_taxonomy):
+        with pytest.raises(QuestionGenerationError):
+            generate_level_questions("ebay", ebay_taxonomy, 0)
+
+    def test_absent_level_rejected(self, ebay_taxonomy):
+        with pytest.raises(QuestionGenerationError):
+            generate_level_questions("ebay", ebay_taxonomy, 9)
+
+    def test_generation_is_deterministic(self, ebay_taxonomy):
+        first = generate_level_questions("ebay", ebay_taxonomy, 1,
+                                         sample_size=15)
+        second = generate_level_questions("ebay", ebay_taxonomy, 1,
+                                          sample_size=15)
+        assert [q.uid for q in first.positives] \
+            == [q.uid for q in second.positives]
+        assert [q.uid for q in first.mcqs] \
+            == [q.uid for q in second.mcqs]
+
+    def test_seed_decorrelates(self, ebay_taxonomy):
+        first = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                         sample_size=15, seed="a")
+        second = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                          sample_size=15, seed="b")
+        assert {q.child_id for q in first.positives} \
+            != {q.child_id for q in second.positives}
+
+    def test_easy_set_is_balanced(self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=20)
+        yes = sum(1 for q in generated.easy
+                  if q.kind is QuestionKind.POSITIVE)
+        assert yes == len(generated.easy) - yes
+
+    def test_hard_set_pairs_positives_with_hard_children(
+            self, ebay_taxonomy):
+        generated = generate_level_questions("ebay", ebay_taxonomy, 2,
+                                             sample_size=20)
+        hard = generated.hard
+        positives = {q.child_id for q in hard
+                     if q.kind is QuestionKind.POSITIVE}
+        negatives = {q.child_id for q in hard
+                     if q.kind is QuestionKind.NEGATIVE_HARD}
+        assert positives == negatives
+
+
+class TestPools:
+    def test_question_levels_cover_all_but_root(self, ebay_pools):
+        assert ebay_pools.question_levels == [1, 2]
+
+    def test_total_pool_concatenates_levels(self, ebay_pools):
+        total = ebay_pools.total_pool(DatasetKind.MCQ)
+        per_level = sum(
+            len(ebay_pools.level_pool(level, DatasetKind.MCQ))
+            for level in ebay_pools.question_levels)
+        assert len(total) == per_level
+        assert total.level is None
+
+    def test_pool_label(self, ebay_pools):
+        pool = ebay_pools.level_pool(1, DatasetKind.HARD)
+        assert pool.label == "ebay/hard/level 1-root"
+
+    def test_statistics_shape(self, ebay_pools):
+        rows = ebay_pools.statistics()
+        assert rows[-1]["level"] == "total"
+        assert rows[-1]["easy"] == sum(r["easy"] for r in rows[:-1])
+
+    def test_easy_twice_mcq(self, ebay_pools):
+        for row in ebay_pools.statistics()[:-1]:
+            assert row["easy"] == 2 * row["mcq"]
+
+    def test_mcq_pool_is_mcq_only(self, ebay_pools):
+        pool = ebay_pools.total_pool(DatasetKind.MCQ)
+        assert all(q.qtype is QuestionType.MCQ for q in pool.questions)
+
+    def test_default_pools_cached(self):
+        assert default_pools("ebay", sample_size=10) \
+            is default_pools("ebay", sample_size=10)
+
+    def test_paper_scale_counts_match_table4_easy_column(self):
+        # Glottolog's easy counts are reproduced exactly (Table 4).
+        pools = build_pools("glottolog")
+        easy = [row["easy"] for row in pools.statistics()[:-1]]
+        assert easy == [500, 564, 584, 600, 732]
+
+    def test_paper_scale_mcq_counts_match_table4(self):
+        pools = build_pools("google")
+        mcq = [row["mcq"] for row in pools.statistics()[:-1]]
+        assert mcq == [129, 300, 328, 318]

@@ -1,0 +1,105 @@
+"""Property-based tests: question generation over random taxonomies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.questions.generation import generate_level_questions
+from repro.questions.model import QuestionKind
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.node import Domain
+
+
+@st.composite
+def layered_taxonomies(draw):
+    """Random 3-level forests wide enough to generate questions."""
+    builder = TaxonomyBuilder("prop", draw(st.sampled_from(list(Domain))))
+    root_count = draw(st.integers(min_value=2, max_value=5))
+    roots = [builder.add_root(f"Root{i}") for i in range(root_count)]
+    mids = []
+    serial = 0
+    for root in roots:
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            mids.append(builder.add_child(root, f"Mid{serial}"))
+            serial += 1
+    for mid in mids:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            builder.add_child(mid, f"Leaf{serial}")
+            serial += 1
+    return builder.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_taxonomies(), st.integers(min_value=1, max_value=2))
+def test_positives_always_ask_the_true_parent(taxonomy, level):
+    if taxonomy.level_width(level) == 0:
+        return
+    generated = generate_level_questions("prop", taxonomy, level,
+                                         sample_size=10)
+    for question in generated.positives:
+        parent = taxonomy.parent(question.child_id)
+        assert question.asked_parent_name == parent.name
+        assert question.expected_answer.value == "yes"
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_taxonomies(), st.integers(min_value=1, max_value=2))
+def test_negatives_never_ask_the_true_parent(taxonomy, level):
+    if taxonomy.level_width(level) == 0:
+        return
+    generated = generate_level_questions("prop", taxonomy, level,
+                                         sample_size=10)
+    for question in (generated.negatives_easy
+                     + generated.negatives_hard):
+        assert question.asked_parent_name != question.true_parent_name
+        assert question.expected_answer.value == "no"
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_taxonomies(), st.integers(min_value=1, max_value=2))
+def test_hard_negatives_are_always_uncles(taxonomy, level):
+    if taxonomy.level_width(level) == 0:
+        return
+    generated = generate_level_questions("prop", taxonomy, level,
+                                         sample_size=10)
+    for question in generated.negatives_hard:
+        uncle_names = {node.name for node
+                       in taxonomy.uncles(question.child_id)}
+        assert question.asked_parent_name in uncle_names
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_taxonomies(), st.integers(min_value=1, max_value=2))
+def test_mcq_answer_index_points_at_truth(taxonomy, level):
+    if taxonomy.level_width(level) == 0:
+        return
+    generated = generate_level_questions("prop", taxonomy, level,
+                                         sample_size=10)
+    for question in generated.mcqs:
+        assert question.options[question.answer_index] \
+            == question.true_parent_name
+        assert len(set(question.options)) == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(layered_taxonomies(), st.integers(min_value=1, max_value=2))
+def test_uids_are_unique_within_a_level(taxonomy, level):
+    if taxonomy.level_width(level) == 0:
+        return
+    generated = generate_level_questions("prop", taxonomy, level,
+                                         sample_size=10)
+    everything = (generated.positives + generated.negatives_easy
+                  + generated.negatives_hard + generated.mcqs)
+    uids = [question.uid for question in everything]
+    assert len(uids) == len(set(uids))
+
+
+@settings(max_examples=25, deadline=None)
+@given(layered_taxonomies())
+def test_easy_pools_are_exactly_balanced(taxonomy):
+    generated = generate_level_questions("prop", taxonomy, 1,
+                                         sample_size=8)
+    positives = sum(1 for question in generated.easy
+                    if question.kind is QuestionKind.POSITIVE)
+    assert positives * 2 == len(generated.easy)

@@ -1,0 +1,157 @@
+"""Tests for the question data model and Table 2/3 templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PromptError
+from repro.questions.model import (Answer, DatasetKind, Question,
+                                   QuestionKind, QuestionType,
+                                   letter_answer, level_label)
+from repro.questions.templates import (mcq_prompt, render_question,
+                                       true_false_prompt)
+from repro.taxonomy.node import Domain
+
+
+def _tf_question(kind=QuestionKind.POSITIVE, domain=Domain.LANGUAGE):
+    return Question(
+        uid="q1", taxonomy_key="glottolog", domain=domain,
+        qtype=QuestionType.TRUE_FALSE, kind=kind, level=2,
+        child_id="c", child_name="Hailu", true_parent_id="p",
+        true_parent_name="Hakka-Chinese",
+        asked_parent_name="Hakka-Chinese" if
+        kind is QuestionKind.POSITIVE else "Min-Chinese")
+
+
+def _mcq_question():
+    return Question(
+        uid="q2", taxonomy_key="glottolog", domain=Domain.LANGUAGE,
+        qtype=QuestionType.MCQ, kind=QuestionKind.MCQ, level=2,
+        child_id="c", child_name="Hailu", true_parent_id="p",
+        true_parent_name="Hakka-Chinese",
+        options=("Min-Chinese", "Hakka-Chinese", "Gan", "Wu"),
+        answer_index=1)
+
+
+class TestQuestionModel:
+    def test_positive_expects_yes(self):
+        assert _tf_question().expected_answer is Answer.YES
+
+    def test_negative_expects_no(self):
+        question = _tf_question(QuestionKind.NEGATIVE_HARD)
+        assert question.expected_answer is Answer.NO
+
+    def test_mcq_expects_letter(self):
+        assert _mcq_question().expected_answer is Answer.B
+
+    def test_level_label_root(self):
+        assert level_label(1) == "level 1-root"
+
+    def test_level_label_deeper(self):
+        assert level_label(4) == "level 4-3"
+
+    def test_question_level_label_property(self):
+        assert _tf_question().level_label == "level 2-1"
+
+    def test_mcq_requires_four_options(self):
+        with pytest.raises(ValueError):
+            Question(uid="x", taxonomy_key="t", domain=Domain.HEALTH,
+                     qtype=QuestionType.MCQ, kind=QuestionKind.MCQ,
+                     level=1, child_id="c", child_name="c",
+                     true_parent_id="p", true_parent_name="p",
+                     options=("a", "b"), answer_index=0)
+
+    def test_mcq_answer_index_bounds(self):
+        with pytest.raises(ValueError):
+            Question(uid="x", taxonomy_key="t", domain=Domain.HEALTH,
+                     qtype=QuestionType.MCQ, kind=QuestionKind.MCQ,
+                     level=1, child_id="c", child_name="c",
+                     true_parent_id="p", true_parent_name="p",
+                     options=("a", "b", "c", "d"), answer_index=7)
+
+    def test_tf_requires_asked_parent(self):
+        with pytest.raises(ValueError):
+            Question(uid="x", taxonomy_key="t", domain=Domain.HEALTH,
+                     qtype=QuestionType.TRUE_FALSE,
+                     kind=QuestionKind.POSITIVE, level=1,
+                     child_id="c", child_name="c",
+                     true_parent_id="p", true_parent_name="p")
+
+    def test_letter_answer(self):
+        assert letter_answer("C") is Answer.C
+
+    def test_answer_miss_flags(self):
+        assert Answer.IDK.is_miss
+        assert Answer.UNPARSEABLE.is_miss
+        assert not Answer.YES.is_miss
+        assert not Answer.A.is_miss
+
+    def test_dataset_kinds_pair_the_right_negatives(self):
+        assert DatasetKind.EASY.question_kinds \
+            == (QuestionKind.POSITIVE, QuestionKind.NEGATIVE_EASY)
+        assert DatasetKind.HARD.question_kinds \
+            == (QuestionKind.POSITIVE, QuestionKind.NEGATIVE_HARD)
+        assert DatasetKind.MCQ.question_kinds == (QuestionKind.MCQ,)
+
+
+class TestTemplates:
+    def test_shopping_template_matches_table2(self):
+        prompt = true_false_prompt(Domain.SHOPPING, "Pencil",
+                                   "Stationery")
+        assert prompt == ("Are Pencil products a type of Stationery "
+                          "products? answer with (Yes/No/I don't know)")
+
+    def test_language_template_matches_table2(self):
+        prompt = true_false_prompt(Domain.LANGUAGE, "Sinitic",
+                                   "Sino-Tibetan")
+        assert prompt == ("Is Sinitic language a type of Sino-Tibetan "
+                          "language? answer with (Yes/No/I don't know)")
+
+    def test_health_template_has_no_wrapper(self):
+        prompt = true_false_prompt(Domain.HEALTH, "Acute hepatitis",
+                                   "Hepatitis")
+        assert prompt == ("Is Acute hepatitis a type of Hepatitis? "
+                          "answer with (Yes/No/I don't know)")
+
+    def test_medical_template_mentions_adverse_events(self):
+        prompt = true_false_prompt(Domain.MEDICAL, "cardiac AE",
+                                   "vascular AE")
+        assert "Adverse Events concept" in prompt
+
+    def test_general_template(self):
+        prompt = true_false_prompt(Domain.GENERAL, "PaymentComplete",
+                                   "Intangible")
+        assert "entity type" in prompt
+        assert prompt.startswith("Is ")
+
+    def test_paraphrase_variants(self):
+        base = true_false_prompt(Domain.HEALTH, "a", "b", variant=0)
+        kind = true_false_prompt(Domain.HEALTH, "a", "b", variant=1)
+        sort = true_false_prompt(Domain.HEALTH, "a", "b", variant=2)
+        assert "a type of" in base
+        assert "a kind of" in kind
+        assert "a sort of" in sort
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(PromptError):
+            true_false_prompt(Domain.HEALTH, "a", "b", variant=9)
+
+    def test_mcq_template_matches_table3(self):
+        prompt = mcq_prompt(Domain.SHOPPING, "Pencil",
+                            ("A1", "B2", "C3", "D4"))
+        assert prompt.startswith("What is the most appropriate "
+                                 "supertype of Pencil product? ")
+        assert "A) A1 B) B2 C) C3 D) D4" in prompt
+
+    def test_mcq_adjective_variants(self):
+        prompt = mcq_prompt(Domain.HEALTH, "x", ("a", "b", "c", "d"),
+                            variant=1)
+        assert "most suitable supertype" in prompt
+
+    def test_mcq_requires_four_options(self):
+        with pytest.raises(PromptError):
+            mcq_prompt(Domain.HEALTH, "x", ("a", "b"))
+
+    def test_render_question_dispatches(self):
+        assert "a type of" in render_question(_tf_question())
+        assert "supertype" in render_question(_mcq_question())

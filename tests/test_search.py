@@ -1,0 +1,122 @@
+"""Tests for the entity-search application (tree vs LLM vs hybrid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.registry import build_taxonomy
+from repro.hybrid.membership import MembershipModel
+from repro.search.engine import (HybridRouter, LlmRouter,
+                                 ProductCorpus, TreeRouter,
+                                 lexical_score)
+from repro.search.evaluation import (evaluate_search, make_queries)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return ProductCorpus(build_taxonomy("ebay"))
+
+
+class TestLexicalScore:
+    def test_identical(self):
+        assert lexical_score("pencil", "pencil") == 1.0
+
+    def test_partial(self):
+        assert 0.0 < lexical_score("best pencil", "pencil") < 1.0
+
+    def test_disjoint(self):
+        assert lexical_score("pencil", "monitor") == 0.0
+
+    def test_empty(self):
+        assert lexical_score("", "pencil") == 0.0
+
+
+class TestCorpus:
+    def test_products_are_cached(self, corpus):
+        leaf = corpus.category_nodes()[0]
+        assert corpus.products_of(leaf.node_id) \
+            is corpus.products_of(leaf.node_id)
+
+    def test_inventory_under_root_covers_leaves(self, corpus):
+        root = corpus.taxonomy.roots[0]
+        inventory = corpus.inventory_under(root.node_id)
+        leaf_count = sum(
+            1 for node in corpus.taxonomy.leaves()
+            if corpus.taxonomy.root_of(node.node_id) is root)
+        assert len(inventory) == leaf_count * corpus.per_category
+
+
+class TestRouters:
+    def test_tree_router_finds_exact_category(self, corpus):
+        leaf = corpus.category_nodes()[5]
+        result = TreeRouter(corpus).search(f"best {leaf.name.lower()}")
+        assert result.routed_to == leaf.name
+        assert result.products == corpus.products_of(leaf.node_id)
+
+    def test_tree_router_unroutable_query(self, corpus):
+        result = TreeRouter(corpus).search("zzz qqq")
+        assert result.routed_to is None
+        assert result.products == ()
+
+    def test_llm_router_with_perfect_filter(self, corpus):
+        perfect = MembershipModel(recall_rate=1.0,
+                                  false_positive_rate=0.0)
+        leaf = corpus.category_nodes()[3]
+        result = LlmRouter(corpus, perfect).search(
+            "whatever", truth_node_id=leaf.node_id)
+        assert set(result.products) \
+            == set(corpus.products_of(leaf.node_id))
+
+    def test_hybrid_router_route_accuracy_bounds(self, corpus):
+        with pytest.raises(ValueError):
+            HybridRouter(corpus, 1, route_accuracy=1.5)
+
+    def test_hybrid_router_perfect_routing(self, corpus):
+        router = HybridRouter(
+            corpus, 1, route_accuracy=1.0,
+            membership=MembershipModel(recall_rate=1.0,
+                                       false_positive_rate=0.0))
+        leaf = corpus.category_nodes()[7]
+        result = router.search("query", truth_node_id=leaf.node_id)
+        assert set(corpus.products_of(leaf.node_id)) \
+            <= set(result.products)
+
+    def test_hybrid_router_deterministic(self, corpus):
+        router = HybridRouter(corpus, 1)
+        leaf = corpus.category_nodes()[2]
+        first = router.search("best deal", truth_node_id=leaf.node_id)
+        second = router.search("best deal", truth_node_id=leaf.node_id)
+        assert first == second
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def scores(self):
+        return {score.strategy: score
+                for score in evaluate_search("ebay", queries=50)}
+
+    def test_queries_are_leaf_grounded(self):
+        taxonomy = build_taxonomy("ebay")
+        pairs = make_queries(taxonomy, 20)
+        assert len(pairs) == 20
+        for query, truth_id in pairs:
+            assert taxonomy.node(truth_id).is_leaf
+            assert taxonomy.node(truth_id).name.lower() in query
+
+    def test_tree_routing_is_near_perfect(self, scores):
+        assert scores["tree"].precision > 0.95
+        assert scores["tree"].recall > 0.95
+
+    def test_llm_only_precision_collapses(self, scores):
+        assert scores["llm-only"].precision < 0.1
+        # ...even though its recall is decent (it sees everything).
+        assert scores["llm-only"].recall > 0.6
+
+    def test_hybrid_sits_in_between(self, scores):
+        assert scores["tree"].precision > scores["hybrid"].precision \
+            > scores["llm-only"].precision
+        assert scores["hybrid"].routing_accuracy > 0.4
+
+    def test_deterministic(self):
+        assert evaluate_search("ebay", queries=15) \
+            == evaluate_search("ebay", queries=15)

@@ -1,0 +1,118 @@
+"""Property-based tests on the simulated-model and parsing layers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.parsing import parse_mcq, parse_true_false
+from repro.llm.profiles import ModelProfile
+from repro.llm.prompt_parsing import parse_prompt
+from repro.llm.prompting import PromptSetting
+from repro.llm.registry import MODEL_NAMES, get_profile
+from repro.questions.model import Answer, MCQ_LETTERS, QuestionKind
+from repro.questions.templates import mcq_prompt, true_false_prompt
+from repro.taxonomy.node import Domain
+
+# Concept-name alphabet: printable words without template keywords.
+_names = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"
+                             "ABCDEFGHIJKLMNOPQRSTUVWXYZ- "),
+    min_size=1, max_size=30).map(str.strip).filter(
+    lambda s: s and " a type of " not in f" {s} "
+    and not s.startswith(("Is ", "Are "))
+    and "supertype" not in s)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_names, _names, st.sampled_from(list(Domain)),
+       st.integers(min_value=0, max_value=2))
+def test_tf_prompt_round_trips_for_any_names(child, parent, domain,
+                                             variant):
+    prompt = true_false_prompt(domain, child, parent, variant)
+    parsed = parse_prompt(prompt)
+    assert parsed.child_name == child
+    assert parsed.asked_name == parent
+    assert parsed.variant == variant
+
+
+@settings(max_examples=60, deadline=None)
+@given(_names, st.lists(_names, min_size=4, max_size=4, unique=True),
+       st.sampled_from(list(Domain)))
+def test_mcq_prompt_round_trips_for_any_names(child, options, domain):
+    prompt = mcq_prompt(domain, child, tuple(options))
+    parsed = parse_prompt(prompt)
+    assert parsed.child_name == child
+    assert list(parsed.options) == options
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=120))
+def test_tf_parser_never_crashes(text):
+    assert parse_true_false(text) in Answer
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=120))
+def test_mcq_parser_never_crashes(text):
+    assert parse_mcq(text) in Answer
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(MODEL_NAMES)),
+       st.sampled_from(["ebay", "schema", "glottolog", "ncbi"]),
+       st.sampled_from(list(QuestionKind)))
+def test_kind_params_stay_probabilities(model_name, taxonomy_key,
+                                        kind):
+    profile = get_profile(model_name)
+    accuracy, miss = profile.kind_params(kind, taxonomy_key)
+    assert 0.0 <= accuracy <= 1.0
+    assert 0.0 <= miss <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(MODEL_NAMES)),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=0.94))
+def test_conditional_accuracy_bounded(model_name, accuracy, miss):
+    profile = get_profile(model_name)
+    if accuracy + miss > 1.0:
+        accuracy = 1.0 - miss
+    conditional = profile.conditional_accuracy(accuracy, miss)
+    assert 0.0 <= conditional <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(MODEL_NAMES)),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_setting_adjustments_keep_miss_in_range(model_name, miss):
+    profile = get_profile(model_name)
+    for setting in PromptSetting:
+        adjusted = profile.miss_under(miss, setting)
+        assert 0.0 <= adjusted <= 0.999 or adjusted == miss
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(list(MODEL_NAMES)))
+def test_fewshot_never_raises_miss(model_name):
+    profile = get_profile(model_name)
+    for miss in (0.0, 0.2, 0.7, 0.99):
+        assert profile.miss_under(miss, PromptSetting.FEW_SHOT) \
+            <= miss + 1e-12
+
+
+def test_profiles_are_self_consistent():
+    for model_name in MODEL_NAMES:
+        profile = get_profile(model_name)
+        assert isinstance(profile, ModelProfile)
+        assert profile.name == model_name
+        if profile.architecture == "api":
+            assert profile.params_b is None
+        else:
+            assert profile.params_b > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(list(MCQ_LETTERS)))
+def test_mcq_letter_parses_back(letter):
+    assert parse_mcq(f"{letter}) whatever").value == letter

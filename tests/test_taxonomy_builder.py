@@ -1,0 +1,157 @@
+"""Unit tests for TaxonomyBuilder and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError, UnknownNodeError, ValidationError
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.validate import collect_problems, validate_taxonomy
+
+
+def _builder():
+    return TaxonomyBuilder("t", Domain.GENERAL)
+
+
+class TestBuilder:
+    def test_add_root_assigns_level_zero(self):
+        builder = _builder()
+        root = builder.add_root("Thing")
+        taxonomy = builder.build()
+        assert taxonomy.node(root).level == 0
+
+    def test_add_child_increments_level(self):
+        builder = _builder()
+        root = builder.add_root("Thing")
+        child = builder.add_child(root, "Animal")
+        grand = builder.add_child(child, "Dog")
+        taxonomy = builder.build()
+        assert taxonomy.node(child).level == 1
+        assert taxonomy.node(grand).level == 2
+
+    def test_explicit_ids_are_kept(self):
+        builder = _builder()
+        builder.add_root("Thing", node_id="thing")
+        taxonomy = builder.build()
+        assert "thing" in taxonomy
+
+    def test_duplicate_id_rejected(self):
+        builder = _builder()
+        builder.add_root("A", node_id="x")
+        with pytest.raises(TaxonomyError):
+            builder.add_root("B", node_id="x")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            _builder().add_child("missing", "Child")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaxonomyError):
+            _builder().add_root("   ")
+
+    def test_names_are_stripped(self):
+        builder = _builder()
+        root = builder.add_root("  Thing  ")
+        assert builder.build().node(root).name == "Thing"
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(TaxonomyError):
+            _builder().build()
+
+    def test_len_tracks_nodes(self):
+        builder = _builder()
+        builder.add_root("A")
+        builder.add_root("B")
+        assert len(builder) == 2
+
+    def test_add_path_creates_chain(self):
+        builder = _builder()
+        ids = builder.add_path(["Thing", "Animal", "Dog"])
+        taxonomy = builder.build()
+        assert [taxonomy.node(i).level for i in ids] == [0, 1, 2]
+
+    def test_add_path_reuses_existing_prefix(self):
+        builder = _builder()
+        first = builder.add_path(["Thing", "Animal", "Dog"])
+        second = builder.add_path(["Thing", "Animal", "Cat"])
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] != second[2]
+
+    def test_add_path_empty_rejected(self):
+        with pytest.raises(TaxonomyError):
+            _builder().add_path([])
+
+    def test_build_without_validation_allows_weird_levels(self):
+        # build(validate=False) is the loader escape hatch
+        builder = _builder()
+        builder.add_root("A")
+        taxonomy = builder.build(validate=False)
+        assert len(taxonomy) == 1
+
+
+class TestValidation:
+    def test_valid_taxonomy_has_no_problems(self, toy_taxonomy):
+        assert collect_problems(toy_taxonomy) == []
+
+    def test_dangling_parent_detected(self):
+        nodes = {"a": TaxonomyNode("a", "A", 1, parent_id="ghost")}
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert any("dangling parent" in p for p in problems)
+
+    def test_wrong_level_detected(self):
+        nodes = {
+            "r": TaxonomyNode("r", "R", 0, children_ids=["a"]),
+            "a": TaxonomyNode("a", "A", 5, parent_id="r"),
+        }
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert any("level" in p for p in problems)
+
+    def test_root_with_nonzero_level_detected(self):
+        nodes = {"r": TaxonomyNode("r", "R", 3)}
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert any("root with level" in p for p in problems)
+
+    def test_unlinked_child_detected(self):
+        nodes = {
+            "r": TaxonomyNode("r", "R", 0),
+            "a": TaxonomyNode("a", "A", 1, parent_id="r"),
+        }
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert any("does not list it as a child" in p for p in problems)
+
+    def test_child_with_wrong_backpointer_detected(self):
+        nodes = {
+            "r": TaxonomyNode("r", "R", 0, children_ids=["a"]),
+            "s": TaxonomyNode("s", "S", 0),
+            "a": TaxonomyNode("a", "A", 1, parent_id="s"),
+        }
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert problems  # several issues, all reported
+
+    def test_cycle_detected(self):
+        nodes = {
+            "a": TaxonomyNode("a", "A", 1, parent_id="b",
+                              children_ids=["b"]),
+            "b": TaxonomyNode("b", "B", 1, parent_id="a",
+                              children_ids=["a"]),
+        }
+        problems = collect_problems(
+            Taxonomy("t", Domain.GENERAL, nodes))
+        assert any("cycle" in p for p in problems)
+
+    def test_validate_raises_with_all_problems(self):
+        nodes = {
+            "r": TaxonomyNode("r", "R", 2),
+            "x": TaxonomyNode("x", "", 0),
+        }
+        with pytest.raises(ValidationError) as excinfo:
+            validate_taxonomy(Taxonomy("t", Domain.GENERAL, nodes))
+        assert len(excinfo.value.problems) >= 2

@@ -1,0 +1,156 @@
+"""Unit tests for the taxonomy node/forest data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError, UnknownNodeError
+from repro.taxonomy.node import Domain, TaxonomyNode
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+def _by_name(taxonomy, name):
+    for node in taxonomy:
+        if node.name == name:
+            return node
+    raise AssertionError(f"no node named {name}")
+
+
+class TestTaxonomyNode:
+    def test_root_flags(self):
+        node = TaxonomyNode("n0", "Thing", 0)
+        assert node.is_root
+        assert node.is_leaf
+
+    def test_child_is_not_root(self):
+        node = TaxonomyNode("n1", "Animal", 1, parent_id="n0")
+        assert not node.is_root
+
+    def test_node_with_children_is_not_leaf(self):
+        node = TaxonomyNode("n0", "Thing", 0, children_ids=["n1"])
+        assert not node.is_leaf
+
+
+class TestDomain:
+    def test_all_eight_paper_domains_exist(self):
+        assert len(Domain) == 8
+
+    def test_domain_is_string_valued(self):
+        assert Domain.SHOPPING.value == "shopping"
+
+
+class TestNavigation:
+    def test_len_counts_all_nodes(self, toy_taxonomy):
+        assert len(toy_taxonomy) == 10
+
+    def test_num_trees(self, toy_taxonomy):
+        assert toy_taxonomy.num_trees == 2
+
+    def test_num_levels(self, toy_taxonomy):
+        assert toy_taxonomy.num_levels == 3
+
+    def test_parent_of_root_is_none(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Electronics")
+        assert toy_taxonomy.parent(root.node_id) is None
+
+    def test_parent_of_leaf(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Headphones")
+        assert toy_taxonomy.parent(leaf.node_id).name == "Audio"
+
+    def test_children_order_is_insertion(self, toy_taxonomy):
+        audio = _by_name(toy_taxonomy, "Audio")
+        names = [c.name for c in toy_taxonomy.children(audio.node_id)]
+        assert names == ["Headphones", "Speakers", "Earbuds"]
+
+    def test_siblings_exclude_self(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Headphones")
+        names = {s.name for s in toy_taxonomy.siblings(leaf.node_id)}
+        assert names == {"Speakers", "Earbuds"}
+
+    def test_siblings_of_root_are_other_roots(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Electronics")
+        names = {s.name for s in toy_taxonomy.siblings(root.node_id)}
+        assert names == {"Home"}
+
+    def test_uncles_are_parent_siblings(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Headphones")
+        names = {u.name for u in toy_taxonomy.uncles(leaf.node_id)}
+        assert names == {"Video"}
+
+    def test_uncles_of_root_are_empty(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Home")
+        assert toy_taxonomy.uncles(root.node_id) == []
+
+    def test_uncles_of_level1_are_other_roots(self, toy_taxonomy):
+        audio = _by_name(toy_taxonomy, "Audio")
+        names = {u.name for u in toy_taxonomy.uncles(audio.node_id)}
+        assert names == {"Home"}
+
+    def test_ancestors_order_parent_first(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Chairs")
+        names = [a.name for a in toy_taxonomy.ancestors(leaf.node_id)]
+        assert names == ["Furniture", "Home"]
+
+    def test_root_of(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Monitors")
+        assert toy_taxonomy.root_of(leaf.node_id).name == "Electronics"
+
+    def test_root_of_root_is_itself(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Home")
+        assert toy_taxonomy.root_of(root.node_id) is root
+
+    def test_nodes_at_level(self, toy_taxonomy):
+        names = {n.name for n in toy_taxonomy.nodes_at_level(1)}
+        assert names == {"Audio", "Video", "Furniture"}
+
+    def test_nodes_at_absent_level_empty(self, toy_taxonomy):
+        assert toy_taxonomy.nodes_at_level(9) == []
+
+    def test_level_widths(self, toy_taxonomy):
+        assert toy_taxonomy.level_widths() == [2, 3, 5]
+
+    def test_leaves(self, toy_taxonomy):
+        names = {n.name for n in toy_taxonomy.leaves()}
+        assert names == {"Headphones", "Speakers", "Earbuds",
+                         "Monitors", "Chairs"}
+
+    def test_edges_count(self, toy_taxonomy):
+        assert sum(1 for _ in toy_taxonomy.edges()) == 8
+
+    def test_edges_are_child_parent(self, toy_taxonomy):
+        for child, parent in toy_taxonomy.edges():
+            assert child.parent_id == parent.node_id
+
+    def test_descendants(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Electronics")
+        names = {d.name for d in
+                 toy_taxonomy.descendants(root.node_id)}
+        assert names == {"Audio", "Video", "Headphones", "Speakers",
+                         "Earbuds", "Monitors"}
+
+    def test_is_ancestor_true(self, toy_taxonomy):
+        root = _by_name(toy_taxonomy, "Electronics")
+        leaf = _by_name(toy_taxonomy, "Earbuds")
+        assert toy_taxonomy.is_ancestor(root.node_id, leaf.node_id)
+
+    def test_is_ancestor_false_for_sibling_branch(self, toy_taxonomy):
+        home = _by_name(toy_taxonomy, "Home")
+        leaf = _by_name(toy_taxonomy, "Earbuds")
+        assert not toy_taxonomy.is_ancestor(home.node_id, leaf.node_id)
+
+    def test_is_ancestor_not_reflexive(self, toy_taxonomy):
+        leaf = _by_name(toy_taxonomy, "Earbuds")
+        assert not toy_taxonomy.is_ancestor(leaf.node_id, leaf.node_id)
+
+    def test_unknown_node_raises(self, toy_taxonomy):
+        with pytest.raises(UnknownNodeError):
+            toy_taxonomy.node("missing")
+
+    def test_contains(self, toy_taxonomy):
+        some_id = next(iter(toy_taxonomy)).node_id
+        assert some_id in toy_taxonomy
+        assert "missing" not in toy_taxonomy
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy("", Domain.GENERAL, {})

@@ -1,0 +1,101 @@
+"""Unit tests for taxonomy serialization and Table 1 statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.io import (load_edge_tsv, load_json, save_edge_tsv,
+                               save_json, taxonomy_from_dict,
+                               taxonomy_to_dict)
+from repro.taxonomy.node import Domain
+from repro.taxonomy.stats import (branching_factors, compute_statistics)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, toy_taxonomy):
+        rebuilt = taxonomy_from_dict(taxonomy_to_dict(toy_taxonomy))
+        assert len(rebuilt) == len(toy_taxonomy)
+        assert rebuilt.num_levels == toy_taxonomy.num_levels
+        assert rebuilt.num_trees == toy_taxonomy.num_trees
+        assert ({n.name for n in rebuilt}
+                == {n.name for n in toy_taxonomy})
+
+    def test_round_trip_preserves_parenthood(self, toy_taxonomy):
+        rebuilt = taxonomy_from_dict(taxonomy_to_dict(toy_taxonomy))
+        for node in rebuilt:
+            original = toy_taxonomy.node(node.node_id)
+            assert node.parent_id == original.parent_id
+            assert node.level == original.level
+
+    def test_round_trip_preserves_metadata(self, toy_taxonomy):
+        rebuilt = taxonomy_from_dict(taxonomy_to_dict(toy_taxonomy))
+        assert rebuilt.name == toy_taxonomy.name
+        assert rebuilt.domain is toy_taxonomy.domain
+        assert rebuilt.concept_noun == toy_taxonomy.concept_noun
+
+    def test_file_round_trip(self, toy_taxonomy, tmp_path):
+        path = tmp_path / "toy.json"
+        save_json(toy_taxonomy, path)
+        rebuilt = load_json(path)
+        assert len(rebuilt) == len(toy_taxonomy)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_dict({"name": "x"})
+
+    def test_unknown_domain_rejected(self, toy_taxonomy):
+        payload = taxonomy_to_dict(toy_taxonomy)
+        payload["domain"] = "astrology"
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_dict(payload)
+
+    def test_dangling_parent_rejected(self, toy_taxonomy):
+        payload = taxonomy_to_dict(toy_taxonomy)
+        payload["nodes"][3]["parent"] = "ghost"
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_dict(payload)
+
+
+class TestEdgeTsv:
+    def test_tsv_round_trip(self, toy_taxonomy, tmp_path):
+        path = tmp_path / "toy.tsv"
+        save_edge_tsv(toy_taxonomy, path)
+        rebuilt = load_edge_tsv(path, "Toy", Domain.SHOPPING,
+                                concept_noun="products")
+        assert len(rebuilt) == len(toy_taxonomy)
+        assert rebuilt.level_widths() == toy_taxonomy.level_widths()
+
+    def test_bad_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tonly-two-fields\n")
+        with pytest.raises(TaxonomyError):
+            load_edge_tsv(path, "t", Domain.GENERAL)
+
+    def test_blank_lines_skipped(self, toy_taxonomy, tmp_path):
+        path = tmp_path / "toy.tsv"
+        save_edge_tsv(toy_taxonomy, path)
+        path.write_text(path.read_text() + "\n\n")
+        rebuilt = load_edge_tsv(path, "Toy", Domain.SHOPPING)
+        assert len(rebuilt) == len(toy_taxonomy)
+
+
+class TestStatistics:
+    def test_statistics_match_structure(self, toy_taxonomy):
+        stats = compute_statistics(toy_taxonomy)
+        assert stats.num_entities == 10
+        assert stats.num_levels == 3
+        assert stats.num_trees == 2
+        assert stats.level_widths == (2, 3, 5)
+
+    def test_widths_label_format(self, toy_taxonomy):
+        assert compute_statistics(toy_taxonomy).widths_label == "2-3-5"
+
+    def test_as_row_keys(self, toy_taxonomy):
+        row = compute_statistics(toy_taxonomy).as_row()
+        assert set(row) == {"domain", "taxonomy", "entities", "levels",
+                            "trees", "widths"}
+
+    def test_branching_factors(self, toy_taxonomy):
+        factors = branching_factors(toy_taxonomy)
+        assert factors == [3 / 2, 5 / 3]

@@ -1,0 +1,107 @@
+"""Property-based tests on taxonomy invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taxonomy.builder import TaxonomyBuilder
+from repro.taxonomy.io import taxonomy_from_dict, taxonomy_to_dict
+from repro.taxonomy.node import Domain
+from repro.taxonomy.validate import collect_problems
+
+
+@st.composite
+def random_taxonomies(draw):
+    """Random valid forests built through the builder."""
+    builder = TaxonomyBuilder("prop", draw(st.sampled_from(list(Domain))))
+    root_count = draw(st.integers(min_value=1, max_value=4))
+    ids = [builder.add_root(f"Root{i}") for i in range(root_count)]
+    extra = draw(st.integers(min_value=0, max_value=40))
+    for serial in range(extra):
+        parent_index = draw(st.integers(min_value=0,
+                                        max_value=len(ids) - 1))
+        ids.append(builder.add_child(ids[parent_index],
+                                     f"Node{serial}"))
+    return builder.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_builder_output_always_validates(taxonomy):
+    assert collect_problems(taxonomy) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_level_widths_sum_to_size(taxonomy):
+    assert sum(taxonomy.level_widths()) == len(taxonomy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_every_non_root_has_its_parent_one_level_up(taxonomy):
+    for child, parent in taxonomy.edges():
+        assert child.level == parent.level + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_ancestor_chain_ends_at_a_root(taxonomy):
+    for node in taxonomy:
+        chain = taxonomy.ancestors(node.node_id)
+        if node.is_root:
+            assert chain == []
+        else:
+            assert chain[-1].is_root
+            assert len(chain) == node.level
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_siblings_relation_is_symmetric(taxonomy):
+    for node in taxonomy:
+        for sibling in taxonomy.siblings(node.node_id):
+            back = {s.node_id
+                    for s in taxonomy.siblings(sibling.node_id)}
+            assert node.node_id in back
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_uncles_live_at_parent_level(taxonomy):
+    for node in taxonomy:
+        for uncle in taxonomy.uncles(node.node_id):
+            assert uncle.level == node.level - 1
+            assert uncle.node_id != node.parent_id
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_taxonomies())
+def test_descendant_of_root_union_is_whole_tree(taxonomy):
+    covered = set()
+    for root in taxonomy.roots:
+        covered.add(root.node_id)
+        covered.update(d.node_id
+                       for d in taxonomy.descendants(root.node_id))
+    assert covered == set(taxonomy.node_ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_taxonomies())
+def test_json_round_trip_is_lossless(taxonomy):
+    rebuilt = taxonomy_from_dict(taxonomy_to_dict(taxonomy))
+    assert {n.node_id: (n.name, n.level, n.parent_id)
+            for n in rebuilt} \
+        == {n.node_id: (n.name, n.level, n.parent_id)
+            for n in taxonomy}
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_taxonomies())
+def test_is_ancestor_agrees_with_ancestor_chain(taxonomy):
+    for node in taxonomy:
+        chain = {a.node_id for a in taxonomy.ancestors(node.node_id)}
+        for other in taxonomy:
+            assert taxonomy.is_ancestor(other.node_id, node.node_id) \
+                == (other.node_id in chain)
