@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI mirror: the tier-1 test suite plus a ~1 s smoke of the
+# engine throughput benchmark (scaled-down pool, 3 ms latency).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== engine throughput smoke =="
+python benchmarks/bench_engine_throughput.py
+
+echo "check.sh: all green"

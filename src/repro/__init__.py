@@ -17,7 +17,10 @@ Quickstart:
 from repro.core import (EvaluationRunner, Metrics, PoolResult,
                         QuestionRecord, RetrievalMetrics, TaxoGlimpse,
                         TAXONOMY_LABELS)
+from repro.engine import (EngineConfig, EngineStats, EvaluationEngine,
+                          ResponseCache, RetryPolicy)
 from repro.errors import (CalibrationError, ExperimentError, ModelError,
+                          ModelTimeoutError, ModelTransientError,
                           PromptError, QuestionGenerationError,
                           ReproError, TaxonomyError, UnknownModelError,
                           UnknownNodeError, ValidationError)
@@ -79,6 +82,12 @@ __all__ = [
     "get_profile",
     "all_models",
     "surface_baseline",
+    # engine
+    "EvaluationEngine",
+    "EngineConfig",
+    "EngineStats",
+    "RetryPolicy",
+    "ResponseCache",
     # hybrid
     "HybridTaxonomy",
     "MembershipModel",
@@ -93,6 +102,8 @@ __all__ = [
     "QuestionGenerationError",
     "PromptError",
     "ModelError",
+    "ModelTransientError",
+    "ModelTimeoutError",
     "UnknownModelError",
     "ExperimentError",
     "CalibrationError",

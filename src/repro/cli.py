@@ -10,6 +10,8 @@
     python -m repro case-study --sample 150
     python -m repro popularity
     python -m repro scalability
+    python -m repro table --workers 8 --cache /tmp/responses.json
+    python -m repro engine-stats --workers 8 --sample 60
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
@@ -19,10 +21,14 @@ paper-scale sizes).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.benchmark import TaxoGlimpse
-from repro.core.report import format_rows
+from repro.core.report import format_engine_stats, format_rows
+from repro.engine.cache import ResponseCache
+from repro.engine.config import EngineConfig, RetryPolicy
+from repro.engine.scheduler import EvaluationEngine
 from repro.data.paper_tables import MODEL_ORDER, TAXONOMY_ORDER
 from repro.data.paper_figures import SCALABILITY
 from repro.experiments.config import ExperimentConfig
@@ -59,6 +65,7 @@ def _parser() -> argparse.ArgumentParser:
     table.add_argument("--dataset", choices=["hard", "easy", "mcq"],
                        default="hard")
     _add_scope(table)
+    _add_engine_options(table)
 
     levels = commands.add_parser(
         "levels", help="Figure 3 per-level accuracy (hard)")
@@ -105,6 +112,16 @@ def _parser() -> argparse.ArgumentParser:
     errors.add_argument("--dataset", choices=["hard", "easy", "mcq"],
                         default="hard")
     errors.add_argument("--sample", type=int, default=None)
+
+    engine_stats = commands.add_parser(
+        "engine-stats", help="run one cell through the execution "
+                             "engine and print its telemetry")
+    engine_stats.add_argument("--model", default="GPT-4",
+                              choices=list(MODEL_ORDER))
+    engine_stats.add_argument("--taxonomy", default="ebay",
+                              choices=list(TAXONOMY_ORDER))
+    engine_stats.add_argument("--sample", type=int, default=60)
+    _add_engine_options(engine_stats)
     return parser
 
 
@@ -122,6 +139,34 @@ def _add_scope(command: argparse.ArgumentParser,
     command.add_argument("--sample", type=int, default=None,
                          help="per-level sample size (default: paper "
                               "Cochran sizes)")
+
+
+def _add_engine_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--workers", type=int, default=1,
+                         help="engine worker threads (1 = sequential)")
+    command.add_argument("--retries", type=int, default=3,
+                         help="retry budget for transient model "
+                              "faults")
+    command.add_argument("--cache", default=None, metavar="PATH",
+                         help="persist the response cache as JSON at "
+                              "PATH (loaded first if it exists)")
+
+
+def _build_engine(args: argparse.Namespace) -> EvaluationEngine:
+    """An engine from the shared --workers/--retries/--cache flags."""
+    cache = None
+    if args.cache and os.path.exists(args.cache):
+        cache = ResponseCache.load(args.cache)
+    config = EngineConfig(max_workers=max(1, args.workers),
+                          retry=RetryPolicy(retries=max(0,
+                                                        args.retries)))
+    return EvaluationEngine(config, cache=cache)
+
+
+def _persist_cache(engine: EvaluationEngine,
+                   args: argparse.Namespace) -> None:
+    if args.cache and engine.cache is not None:
+        engine.cache.save(args.cache)
 
 
 def _cmd_stats(_: argparse.Namespace) -> str:
@@ -142,12 +187,17 @@ def _cmd_table(args: argparse.Namespace) -> str:
     config = ExperimentConfig(sample_size=args.sample,
                               models=tuple(args.models),
                               taxonomy_keys=tuple(args.taxonomies))
-    bench = TaxoGlimpse(sample_size=args.sample)
+    engine = _build_engine(args)
+    bench = TaxoGlimpse(sample_size=args.sample, engine=engine)
     result = run_overall(DatasetKind(args.dataset), config, bench=bench)
+    _persist_cache(engine, args)
     title = (f"Overall results on {args.dataset} datasets "
              f"(mean |dA| vs paper = "
              f"{result.mean_abs_accuracy_delta:.3f})")
-    return bench.format_table(result.matrix(), title=title)
+    table = bench.format_table(result.matrix(), title=title)
+    if args.workers > 1 or args.cache:
+        table += "\n" + format_engine_stats(engine.stats())
+    return table
 
 
 def _cmd_levels(args: argparse.Namespace) -> str:
@@ -219,6 +269,23 @@ def _cmd_errors(args: argparse.Namespace) -> str:
               f"({args.dataset})")
 
 
+def _cmd_engine_stats(args: argparse.Namespace) -> str:
+    from repro.core.runner import EvaluationRunner
+    from repro.questions.model import DatasetKind as Kind
+    engine = _build_engine(args)
+    runner = EvaluationRunner(engine=engine)
+    pool = build_pools(
+        args.taxonomy,
+        sample_size=args.sample).total_pool(Kind.HARD)
+    result = runner.evaluate(get_model(args.model), pool)
+    _persist_cache(engine, args)
+    return format_engine_stats(
+        engine.stats(),
+        title=f"Engine telemetry: {args.model} on {args.taxonomy} "
+              f"(n={result.metrics.n}, "
+              f"workers={engine.config.max_workers})")
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,
@@ -231,6 +298,7 @@ _COMMANDS = {
     "consistency": _cmd_consistency,
     "deploy": _cmd_deploy,
     "errors": _cmd_errors,
+    "engine-stats": _cmd_engine_stats,
 }
 
 

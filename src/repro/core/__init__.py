@@ -6,7 +6,8 @@ from repro.core.export import (CellDrift, diff_matrices, load_matrix,
                               pool_result_to_payload, save_matrix)
 from repro.core.metrics import (Metrics, RetrievalMetrics, combine,
                                 retrieval_metrics, summarize)
-from repro.core.report import format_matrix, format_rows, matrix_to_csv
+from repro.core.report import (format_engine_stats, format_matrix,
+                               format_rows, matrix_to_csv)
 from repro.core.results import (PoolResult, QuestionRecord,
                                 metrics_from_records)
 from repro.core.runner import EvaluationRunner
@@ -32,5 +33,6 @@ __all__ = [
     "metrics_from_records",
     "format_matrix",
     "format_rows",
+    "format_engine_stats",
     "matrix_to_csv",
 ]

@@ -36,13 +36,17 @@ class TaxoGlimpse:
             runs fast.
         variant: Template paraphrase variant (0 = the paper's wording).
         keep_records: Retain per-question records on results.
+        engine: Optional :class:`repro.engine.EvaluationEngine`; every
+            evaluation then runs concurrently behind its middleware
+            stack with bit-identical metrics.
     """
 
     def __init__(self, sample_size: int | None = None, variant: int = 0,
-                 keep_records: bool = False):
+                 keep_records: bool = False, engine=None):
         self.sample_size = sample_size
         self.runner = EvaluationRunner(variant=variant,
-                                       keep_records=keep_records)
+                                       keep_records=keep_records,
+                                       engine=engine)
         self._pools: dict[str, TaxonomyPools] = {}
 
     # ------------------------------------------------------------------

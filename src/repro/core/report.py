@@ -2,7 +2,8 @@
 
 ``format_matrix`` reproduces the layout of the paper's Tables 5-7:
 one model per block with an accuracy (A) row and a miss-rate (M) row,
-one column per taxonomy.
+one column per taxonomy.  ``format_engine_stats`` renders the
+execution engine's telemetry the same aligned-table way.
 """
 
 from __future__ import annotations
@@ -10,8 +11,12 @@ from __future__ import annotations
 import csv
 import io
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from repro.core.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.engine.telemetry import EngineStats
 
 
 def format_matrix(matrix: Mapping[tuple[str, str], Metrics],
@@ -61,6 +66,12 @@ def matrix_to_csv(matrix: Mapping[tuple[str, str], Metrics],
             writer.writerow([model, key, f"{metrics.accuracy:.4f}",
                              f"{metrics.miss_rate:.4f}", metrics.n])
     return buffer.getvalue()
+
+
+def format_engine_stats(stats: "EngineStats",
+                        title: str = "Engine telemetry") -> str:
+    """Render one :class:`EngineStats` snapshot as an aligned table."""
+    return format_rows([stats.as_row()], title=title)
 
 
 def format_rows(rows: list[dict[str, object]], title: str = "") -> str:

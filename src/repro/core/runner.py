@@ -5,9 +5,17 @@ prompt (with few-shot exemplars from the same pool when requested),
 send it to the model, parse the raw text response, score it.  Models
 are opaque :class:`ChatModel` objects — swap a simulated backend for a
 real API client and nothing here changes.
+
+A runner can optionally carry a
+:class:`repro.engine.EvaluationEngine`: every ``evaluate*`` call then
+fans out over the engine's worker pool behind its middleware stack
+(cache, retry, rate limit, timeout).  Records come back in question
+order either way, so the engine path yields bit-identical metrics.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.core.metrics import Metrics
 from repro.core.results import (PoolResult, QuestionRecord,
@@ -18,15 +26,21 @@ from repro.llm.prompting import PromptSetting, build_prompt
 from repro.questions.model import Question
 from repro.questions.pools import QuestionPool
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.engine.scheduler import EvaluationEngine
+
 
 class EvaluationRunner:
     """Drives models over question pools and scores the answers."""
 
-    def __init__(self, variant: int = 0, keep_records: bool = False):
+    def __init__(self, variant: int = 0, keep_records: bool = False,
+                 engine: "EvaluationEngine | None" = None):
         #: Template paraphrase variant (0 is the paper's main results).
         self.variant = variant
         #: Whether PoolResults carry per-question records.
         self.keep_records = keep_records
+        #: Optional execution engine; ``None`` runs sequentially.
+        self.engine = engine
 
     def ask(self, model: ChatModel, question: Question,
             setting: PromptSetting = PromptSetting.ZERO_SHOT,
@@ -46,13 +60,28 @@ class EvaluationRunner:
             expected=question.expected_answer,
         )
 
+    def _ask_all(self, model: ChatModel,
+                 questions: tuple[Question, ...],
+                 setting: PromptSetting,
+                 pool_questions: tuple[Question, ...]
+                 ) -> list[QuestionRecord]:
+        """All records, in question order, engine-accelerated if set."""
+        if self.engine is None:
+            return [self.ask(model, question, setting,
+                             pool_questions=pool_questions)
+                    for question in questions]
+        return self.engine.run(
+            model, questions,
+            lambda wrapped, question: self.ask(
+                wrapped, question, setting,
+                pool_questions=pool_questions))
+
     def evaluate(self, model: ChatModel, pool: QuestionPool,
                  setting: PromptSetting = PromptSetting.ZERO_SHOT
                  ) -> PoolResult:
         """Score ``model`` on every question of ``pool``."""
-        records = [self.ask(model, question, setting,
-                            pool_questions=pool.questions)
-                   for question in pool.questions]
+        records = self._ask_all(model, pool.questions, setting,
+                                pool_questions=pool.questions)
         return PoolResult(
             pool_label=pool.label,
             model=model.name,
@@ -67,9 +96,8 @@ class EvaluationRunner:
                            PromptSetting.ZERO_SHOT,
                            label: str = "ad-hoc") -> PoolResult:
         """Score a bare question tuple (instance typing pools)."""
-        records = [self.ask(model, question, setting,
-                            pool_questions=questions)
-                   for question in questions]
+        records = self._ask_all(model, questions, setting,
+                                pool_questions=questions)
         return PoolResult(
             pool_label=label,
             model=model.name,

@@ -1,0 +1,52 @@
+"""Execution engine: concurrent, fault-tolerant evaluation at scale.
+
+The production layer between the experiment drivers and the
+``ChatModel`` backends.  Four cooperating pieces:
+
+* ``scheduler`` — :class:`EvaluationEngine`, a bounded thread pool
+  that preserves deterministic record ordering (metrics bit-identical
+  to the sequential runner at any worker count);
+* ``middleware`` — composable resilience wrappers (retry with
+  deterministic exponential backoff, per-call timeout, token-bucket
+  rate limiting, deterministic fault injection for tests);
+* ``cache`` — a content-addressed response cache keyed on
+  ``(model, prompt)`` with JSON persistence, so reruns only pay for
+  cold cells;
+* ``telemetry`` — per-call latency, retries, cache traffic and worker
+  utilization aggregated into :class:`EngineStats`.
+
+Quickstart::
+
+    >>> from repro import TaxoGlimpse, DatasetKind
+    >>> from repro.engine import EngineConfig, EvaluationEngine
+    >>> engine = EvaluationEngine(EngineConfig(max_workers=8))
+    >>> bench = TaxoGlimpse(sample_size=40, engine=engine)
+    >>> result = bench.run("GPT-4", "ebay", DatasetKind.HARD)
+    >>> engine.stats().records == result.metrics.n
+    True
+"""
+
+from repro.engine.cache import CachedModel, ResponseCache
+from repro.engine.config import EngineConfig, RetryPolicy
+from repro.engine.middleware import (FaultInjectingModel,
+                                     RateLimitedModel, RetryingModel,
+                                     TimeoutModel, TokenBucket,
+                                     backoff_delay)
+from repro.engine.scheduler import EvaluationEngine
+from repro.engine.telemetry import EngineStats, Telemetry
+
+__all__ = [
+    "EvaluationEngine",
+    "EngineConfig",
+    "RetryPolicy",
+    "EngineStats",
+    "Telemetry",
+    "ResponseCache",
+    "CachedModel",
+    "RetryingModel",
+    "TimeoutModel",
+    "RateLimitedModel",
+    "TokenBucket",
+    "FaultInjectingModel",
+    "backoff_delay",
+]

@@ -1,0 +1,143 @@
+"""Content-addressed response cache.
+
+Responses are keyed on ``(model name, prompt text)`` — nothing else
+reaches a chat endpoint, so nothing else can change the answer of a
+deterministic (temperature-0) backend.  The cache is an LRU dict under
+one lock with hit/miss/eviction counters, and it round-trips through
+JSON the same way ``repro.taxonomy.io`` serializes taxonomies, so a
+finished table can be re-run for free: every warm cell is served from
+disk and only cold cells cost model calls.
+
+``CachedModel`` is the middleware face of the cache: a ``ChatModel``
+wrapper that consults the cache before delegating to the wrapped
+backend.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.engine.telemetry import Telemetry
+from repro.errors import ModelError
+from repro.llm.base import ChatModel
+
+_FORMAT_VERSION = 1
+
+
+class ResponseCache:
+    """Thread-safe LRU of (model, prompt) -> response."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], str] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, model_name: str, prompt: str) -> str | None:
+        """The cached response, or ``None`` (counts a hit/miss)."""
+        key = (model_name, prompt)
+        with self._lock:
+            response = self._entries.get(key)
+            if response is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return response
+
+    def put(self, model_name: str, prompt: str, response: str) -> None:
+        """Store one response, evicting the LRU entry when full."""
+        key = (model_name, prompt)
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while (self.capacity is not None
+                   and len(self._entries) > self.capacity):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence (taxonomy.io-style dict round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict."""
+        with self._lock:
+            return {
+                "format_version": _FORMAT_VERSION,
+                "entries": [
+                    {"model": model, "prompt": prompt,
+                     "response": response}
+                    for (model, prompt), response
+                    in self._entries.items()
+                ],
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  capacity: int | None = None) -> "ResponseCache":
+        """Rebuild a cache from :meth:`to_dict` output."""
+        try:
+            raw_entries = payload["entries"]
+        except (KeyError, TypeError) as exc:
+            raise ModelError(
+                f"malformed response-cache payload: {exc}") from exc
+        cache = cls(capacity=capacity)
+        for raw in raw_entries:
+            try:
+                cache.put(raw["model"], raw["prompt"], raw["response"])
+            except (KeyError, TypeError) as exc:
+                raise ModelError(
+                    f"malformed response-cache entry: {raw!r}") from exc
+        return cache
+
+    def save(self, path: str | Path) -> None:
+        """Write the cache as a JSON document (creating parent dirs)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=1), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path,
+             capacity: int | None = None) -> "ResponseCache":
+        """Read a cache written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(payload, capacity=capacity)
+
+
+class CachedModel:
+    """ChatModel wrapper serving repeated prompts from the cache."""
+
+    def __init__(self, inner: ChatModel, cache: ResponseCache,
+                 telemetry: Telemetry | None = None):
+        self.inner = inner
+        self.name = inner.name
+        self.cache = cache
+        self._telemetry = telemetry
+
+    def generate(self, prompt: str) -> str:
+        response = self.cache.get(self.name, prompt)
+        if self._telemetry is not None:
+            self._telemetry.record_cache(hit=response is not None)
+        if response is None:
+            response = self.inner.generate(prompt)
+            self.cache.put(self.name, prompt, response)
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachedModel({self.inner!r})"

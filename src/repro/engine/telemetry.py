@@ -1,0 +1,162 @@
+"""Telemetry for the execution engine.
+
+A :class:`Telemetry` collector is threaded through the middleware
+stack and the scheduler; every model call, retry, injected fault and
+cache lookup increments a counter under one lock.  ``snapshot()``
+freezes the counters into an :class:`EngineStats` value — the number
+the scalability experiment and the ``repro engine-stats`` CLI report
+instead of poking at raw ``prompts_served`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EngineStats:
+    """One engine run, aggregated.
+
+    ``calls`` counts model invocations that actually reached the
+    backend (cache hits never do); ``records`` counts questions
+    scored.  ``utilization`` is busy worker-seconds over available
+    worker-seconds (``wall_time_s * workers``) — 1.0 means every
+    worker computed the whole time.
+    """
+
+    records: int
+    calls: int
+    retries: int
+    faults: int
+    timeouts: int
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+    busy_time_s: float
+    workers: int
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean wall time of one scored question on its worker."""
+        if self.records == 0:
+            return 0.0
+        return self.busy_time_s / self.records
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of available worker time spent computing."""
+        available = self.wall_time_s * max(1, self.workers)
+        if available <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time_s / available)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def throughput(self) -> float:
+        """Questions scored per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.records / self.wall_time_s
+
+    def as_row(self) -> dict[str, object]:
+        """One report row (``repro.core.report.format_rows`` shape)."""
+        return {
+            "records": self.records,
+            "calls": self.calls,
+            "retries": self.retries,
+            "faults": self.faults,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": f"{self.cache_hit_rate:.3f}",
+            "workers": self.workers,
+            "wall_s": f"{self.wall_time_s:.3f}",
+            "q_per_s": f"{self.throughput:.1f}",
+            "utilization": f"{self.utilization:.3f}",
+        }
+
+
+class Telemetry:
+    """Thread-safe counters shared by middleware and scheduler."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records = 0
+        self._calls = 0
+        self._retries = 0
+        self._faults = 0
+        self._timeouts = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._busy_time_s = 0.0
+        self._wall_time_s = 0.0
+        self._workers = 1
+
+    # ------------------------------------------------------------------
+    # Recording (called from worker threads)
+    # ------------------------------------------------------------------
+    def record_call(self) -> None:
+        with self._lock:
+            self._calls += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def record_fault(self, timeout: bool = False) -> None:
+        with self._lock:
+            self._faults += 1
+            if timeout:
+                self._timeouts += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def record_work(self, seconds: float) -> None:
+        """One question scored, taking ``seconds`` of worker time."""
+        with self._lock:
+            self._records += 1
+            self._busy_time_s += seconds
+
+    def record_run(self, wall_time_s: float, workers: int) -> None:
+        """Account one scheduler pass (called once per run)."""
+        with self._lock:
+            self._wall_time_s += wall_time_s
+            self._workers = max(self._workers, workers)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineStats:
+        """Freeze the counters into an immutable stats value."""
+        with self._lock:
+            return EngineStats(
+                records=self._records,
+                calls=self._calls,
+                retries=self._retries,
+                faults=self._faults,
+                timeouts=self._timeouts,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                wall_time_s=self._wall_time_s,
+                busy_time_s=self._busy_time_s,
+                workers=self._workers,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark phases)."""
+        with self._lock:
+            self._records = self._calls = self._retries = 0
+            self._faults = self._timeouts = 0
+            self._cache_hits = self._cache_misses = 0
+            self._busy_time_s = self._wall_time_s = 0.0
+            self._workers = 1

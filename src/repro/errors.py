@@ -49,6 +49,40 @@ class ModelError(ReproError):
     """Raised when an LLM backend fails or is misconfigured."""
 
 
+class ModelTransientError(ModelError):
+    """A model call failed in a way that is safe to retry.
+
+    Retry contract: backends (and the engine's fault-injection
+    middleware) raise this for failures that do not depend on the
+    request itself — rate-limit rejections, dropped connections,
+    5xx-style server hiccups.  ``engine.middleware.RetryingModel``
+    catches it, sleeps one backoff step, and re-issues the *identical*
+    prompt; after ``RetryPolicy.retries`` failed attempts it raises a
+    plain :class:`ModelError` with this error as the cause.  Raising
+    any other exception type opts a failure out of retrying.
+    """
+
+
+class ModelTimeoutError(ModelTransientError):
+    """A model call exceeded its per-call time budget.
+
+    Retry contract: raised by ``engine.middleware.TimeoutModel`` when
+    one ``generate`` call runs longer than the configured timeout.  It
+    subclasses :class:`ModelTransientError`, so the retry middleware
+    treats a timeout exactly like any other transient fault: the same
+    prompt is retried on a fresh attempt until the policy's budget is
+    exhausted.
+
+    Carries ``elapsed`` and ``timeout`` (seconds) for telemetry.
+    """
+
+    def __init__(self, elapsed: float, timeout: float):
+        super().__init__(f"model call took {elapsed:.3f}s "
+                         f"(timeout {timeout:.3f}s)")
+        self.elapsed = elapsed
+        self.timeout = timeout
+
+
 class UnknownModelError(ModelError):
     """Raised when a model name is not present in the registry."""
 

@@ -8,6 +8,7 @@ else about its models.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
@@ -29,7 +30,10 @@ class BaseChatModel(ABC):
 
     Subclasses implement :meth:`_respond`; the public :meth:`generate`
     wraps it with prompt-count bookkeeping that the scalability
-    experiment and the tests use.
+    experiment and the tests use.  The counter is guarded by a lock:
+    the execution engine calls ``generate`` from many worker threads
+    at once, and ``+=`` on a plain int drops increments under
+    contention.
     """
 
     def __init__(self, name: str):
@@ -37,11 +41,13 @@ class BaseChatModel(ABC):
             raise ValueError("model name must be non-empty")
         self.name = name
         self.prompts_served = 0
+        self._served_lock = threading.Lock()
 
     def generate(self, prompt: str) -> str:
         if not prompt or not prompt.strip():
             raise ValueError("prompt must be non-empty")
-        self.prompts_served += 1
+        with self._served_lock:
+            self.prompts_served += 1
         return self._respond(prompt)
 
     @abstractmethod

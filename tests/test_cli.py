@@ -58,6 +58,26 @@ class TestCli:
         assert "Flan-T5s" in out
         assert "scaling exponents" in out
 
+    def test_table_with_engine_flags(self, capsys):
+        out = _run(capsys, "table", "--models", "GPT-4",
+                   "--taxonomies", "ebay", "--sample", "10",
+                   "--workers", "4")
+        assert "GPT-4" in out
+        assert "Engine telemetry" in out
+        assert "utilization" in out
+
+    def test_engine_stats(self, capsys, tmp_path):
+        cache_path = str(tmp_path / "cache.json")
+        out = _run(capsys, "engine-stats", "--workers", "2",
+                   "--sample", "10", "--cache", cache_path)
+        assert "Engine telemetry" in out
+        assert "cache_hits" in out
+        # Warm rerun served from the persisted cache: zero calls.
+        warm = _run(capsys, "engine-stats", "--workers", "2",
+                    "--sample", "10", "--cache", cache_path)
+        row = warm.splitlines()[-1].split()
+        assert row[1] == "0"  # calls column
+
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["table", "--models", "GPT-5"])

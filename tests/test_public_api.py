@@ -15,9 +15,10 @@ from repro.questions.templates import render_question
 
 PUBLIC_MODULES = [
     "repro.taxonomy", "repro.generators", "repro.questions",
-    "repro.llm", "repro.core", "repro.hybrid", "repro.popularity",
-    "repro.experiments", "repro.stats", "repro.data", "repro.loaders",
-    "repro.figures", "repro.errors", "repro.cli", "repro.search",
+    "repro.llm", "repro.core", "repro.engine", "repro.hybrid",
+    "repro.popularity", "repro.experiments", "repro.stats",
+    "repro.data", "repro.loaders", "repro.figures", "repro.errors",
+    "repro.cli", "repro.search",
 ]
 
 
