@@ -1,0 +1,116 @@
+"""Bench DS — dataset pipeline: cold builds vs. artifact-store loads.
+
+Builds every taxonomy's question pools three ways against a scratch
+store — cold in parallel worker processes, cold sequentially in-process
+and warm from the on-disk columnar artifacts — then verifies the three
+results are equal question for question.  Taxonomy caches are cleared
+before each cold phase so neither measurement is flattered by the
+other's warm ``lru_cache``.
+
+The warm-load speedup is asserted unconditionally (deserialization
+must beat regeneration by >= 10x).  The parallel speedup (>= 2x) is
+only asserted when the machine actually has ``PARALLEL_JOBS`` cores:
+on a single-core container process fan-out can only add overhead, and
+the row is reported without judgement.
+
+Run standalone for a reduced-scale smoke (used by ``scripts/check.sh``
+and CI)::
+
+    PYTHONPATH=src python benchmarks/bench_dataset_build.py --smoke
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.generators.registry import TAXONOMY_KEYS, build_taxonomy
+from repro.questions.model import DatasetKind
+from repro.questions.pools import generate_pools
+from repro.store import ArtifactStore, build_all_datasets
+
+PARALLEL_JOBS = 4
+
+
+def _assert_equal(expected, actual, label: str) -> None:
+    for key in TAXONOMY_KEYS:
+        for kind in DatasetKind:
+            assert (expected[key].total_pool(kind).questions ==
+                    actual[key].total_pool(kind).questions), \
+                f"{label}: {key}/{kind.value} pools differ"
+
+
+def _measure(sample_size: int | None = None,
+             jobs: int = PARALLEL_JOBS) -> list[dict[str, object]]:
+    """Time parallel-cold, sequential-cold and warm-load builds."""
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        # Parallel first: workers fork from this process, so its
+        # taxonomy caches must be cold for an honest measurement.
+        build_taxonomy.cache_clear()
+        store = ArtifactStore(root)
+        started = time.perf_counter()
+        parallel = build_all_datasets(sample_size=sample_size,
+                                      jobs=jobs, store=store, force=True)
+        parallel_s = time.perf_counter() - started
+
+        build_taxonomy.cache_clear()
+        started = time.perf_counter()
+        sequential = {key: generate_pools(key, sample_size=sample_size)
+                      for key in TAXONOMY_KEYS}
+        sequential_s = time.perf_counter() - started
+
+        warm_store = ArtifactStore(root)
+        started = time.perf_counter()
+        warm = build_all_datasets(sample_size=sample_size,
+                                  store=warm_store)
+        warm_s = time.perf_counter() - started
+        assert warm_store.stats.hits == len(TAXONOMY_KEYS)
+        assert warm_store.stats.builds == 0, \
+            "warm load must do zero generation work"
+
+        _assert_equal(sequential, parallel, "parallel vs sequential")
+        _assert_equal(sequential, warm, "warm vs sequential")
+
+        questions = sum(len(sequential[key].total_pool(kind))
+                        for key in TAXONOMY_KEYS for kind in DatasetKind)
+        rows = []
+        for mode, elapsed in (("cold sequential", sequential_s),
+                              (f"cold parallel x{jobs}", parallel_s),
+                              ("warm load", warm_s)):
+            rows.append({
+                "mode": mode, "questions": questions,
+                "wall_s": f"{elapsed:.3f}",
+                "speedup": f"{sequential_s / max(elapsed, 1e-9):.1f}x",
+            })
+        return rows
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _speedup(rows: list[dict[str, object]], mode: str) -> float:
+    row = next(row for row in rows if row["mode"] == mode)
+    return float(str(row["speedup"]).rstrip("x"))
+
+
+def test_dataset_build(benchmark, config, report):
+    rows = once(benchmark, _measure, sample_size=config.sample_size)
+    assert _speedup(rows, "warm load") >= 10.0
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        assert _speedup(rows, f"cold parallel x{PARALLEL_JOBS}") >= 2.0
+    report(format_rows(
+        rows, title="Dataset pipeline: cold builds vs store loads"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    smoke = "--smoke" in sys.argv
+    table = _measure(sample_size=20 if smoke else None,
+                     jobs=2 if smoke else PARALLEL_JOBS)
+    print(format_rows(table, title="Dataset pipeline smoke" if smoke
+                      else "Dataset pipeline"))

@@ -34,9 +34,10 @@ def test_figure7_cost_model(benchmark, report):
         rows, title="Figure 7: scalability of model series"))
 
 
-def test_harness_throughput(benchmark):
+def test_harness_throughput(benchmark, config):
     """Questions per second through the full prompt->parse loop."""
-    pool = default_pools("ebay", sample_size=40).total_pool(
+    pool = default_pools(
+        "ebay", sample_size=config.sample_size).total_pool(
         DatasetKind.HARD)
     runner = EvaluationRunner()
     model = get_model("GPT-4")

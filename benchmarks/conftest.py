@@ -36,8 +36,24 @@ def config() -> ExperimentConfig:
     return ExperimentConfig(sample_size=60, models=FAST_MODELS)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def dataset_store(config):
+    """Build every pool once through the artifact store, in parallel.
+
+    All bench files then share the same store-backed ``default_pools``
+    artifacts (warm disk loads) instead of regenerating pools per file;
+    on a second bench run even this fixture is pure load.
+    """
+    from repro.store import build_all_datasets, default_store
+
+    store = default_store()
+    if store is not None:
+        build_all_datasets(sample_size=config.sample_size, store=store)
+    return store
+
+
 @pytest.fixture(scope="session")
-def bench_harness(config) -> TaxoGlimpse:
+def bench_harness(config, dataset_store) -> TaxoGlimpse:
     """One facade shared by all benches (pools are cached inside)."""
     return TaxoGlimpse(sample_size=config.sample_size)
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local CI mirror: the tier-1 test suite plus a ~1 s smoke of the
-# engine throughput benchmark (scaled-down pool, 3 ms latency).
+# Local CI mirror: the tier-1 test suite plus short smokes of the
+# engine throughput and dataset pipeline benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,5 +11,8 @@ python -m pytest -x -q
 
 echo "== engine throughput smoke =="
 python benchmarks/bench_engine_throughput.py
+
+echo "== dataset pipeline smoke =="
+python benchmarks/bench_dataset_build.py --smoke
 
 echo "check.sh: all green"

@@ -36,6 +36,8 @@ from repro.questions import (Answer, DatasetKind, Question,
                              QuestionKind, QuestionPool, QuestionType,
                              TaxonomyPools, build_pools,
                              render_question)
+from repro.store import (ArtifactStore, build_all_datasets,
+                         default_store, spec_fingerprint)
 from repro.taxonomy import (Domain, Taxonomy, TaxonomyBuilder,
                             TaxonomyNode, compute_statistics)
 
@@ -72,6 +74,11 @@ __all__ = [
     "Answer",
     "build_pools",
     "render_question",
+    # dataset store
+    "ArtifactStore",
+    "build_all_datasets",
+    "default_store",
+    "spec_fingerprint",
     # llm
     "ChatModel",
     "SimulatedLLM",

@@ -1,6 +1,7 @@
 """Command-line interface for the TaxoGlimpse reproduction.
 
     python -m repro stats
+    python -m repro build-datasets --jobs 4
     python -m repro datasets --taxonomies glottolog
     python -m repro table --dataset hard --models GPT-4 LLMs4OL \\
         --taxonomies ebay ncbi --sample 60
@@ -59,6 +60,22 @@ def _parser() -> argparse.ArgumentParser:
     datasets = commands.add_parser(
         "datasets", help="Table 4 question-dataset statistics")
     _add_scope(datasets, models=False)
+
+    build = commands.add_parser(
+        "build-datasets", help="build (or warm-load) every question "
+                               "pool through the artifact store")
+    _add_scope(build, models=False)
+    build.add_argument("--seed", default="",
+                       help="sampling seed (default: paper pools)")
+    build.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for cold builds "
+                            "(default: all cores)")
+    build.add_argument("--force", action="store_true",
+                       help="rebuild even when warm artifacts exist")
+    build.add_argument("--store", default=None, metavar="DIR",
+                       help="artifact store directory (default: "
+                            "$REPRO_STORE_DIR or ~/.cache/"
+                            "repro-taxoglimpse/datasets)")
 
     table = commands.add_parser(
         "table", help="Tables 5-7 overall results matrix")
@@ -183,6 +200,38 @@ def _cmd_datasets(args: argparse.Namespace) -> str:
     return format_rows(rows, title="Table 4: Statistics of datasets")
 
 
+def _cmd_build_datasets(args: argparse.Namespace) -> str:
+    import time
+
+    from repro.store import ArtifactStore, build_all_datasets, \
+        default_store
+
+    store = (ArtifactStore(args.store) if args.store
+             else default_store() or ArtifactStore())
+    keys = list(args.taxonomies)
+    rows = []
+    started = time.perf_counter()
+    built = build_all_datasets(keys, sample_size=args.sample,
+                               seed=args.seed, jobs=args.jobs,
+                               store=store, force=args.force)
+    elapsed = time.perf_counter() - started
+    for key, pools in built.items():
+        path = store.path_for(key, args.sample, args.seed)
+        total = sum(row["easy"] + row["mcq"]
+                    for row in pools.statistics()[:-1])
+        rows.append({
+            "taxonomy": key,
+            "questions": total,
+            "artifact": path.name,
+            "kb": path.stat().st_size // 1024 if path.exists() else 0,
+        })
+    stats = store.stats
+    footer = (f"\n{len(built)} taxonomies in {elapsed:.2f}s "
+              f"(loads={stats.hits}, builds={stats.builds}, "
+              f"store={store.root})")
+    return format_rows(rows, title="Dataset artifacts") + footer
+
+
 def _cmd_table(args: argparse.Namespace) -> str:
     config = ExperimentConfig(sample_size=args.sample,
                               models=tuple(args.models),
@@ -289,6 +338,7 @@ def _cmd_engine_stats(args: argparse.Namespace) -> str:
 _COMMANDS = {
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,
+    "build-datasets": _cmd_build_datasets,
     "table": _cmd_table,
     "levels": _cmd_levels,
     "ask": _cmd_ask,

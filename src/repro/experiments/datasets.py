@@ -1,23 +1,31 @@
 """Experiment T4 — question dataset statistics (paper Table 4).
 
-Regenerates every taxonomy's question pools and reports easy/hard/MCQ
-counts per level, the same layout as Table 4.
+Builds every taxonomy's question pools through the artifact store
+(warm runs load from disk in milliseconds; cold runs fan generation
+out across processes) and reports easy/hard/MCQ counts per level, the
+same layout as Table 4.
 """
 
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig
-from repro.questions.pools import build_pools
+from repro.store.parallel import build_all_datasets
 
 
-def table4_rows(config: ExperimentConfig | None = None
-                ) -> list[dict[str, object]]:
-    """Flattened Table 4: one row per (taxonomy, level)."""
+def table4_rows(config: ExperimentConfig | None = None,
+                jobs: int | None = None) -> list[dict[str, object]]:
+    """Flattened Table 4: one row per (taxonomy, level).
+
+    ``jobs`` bounds the worker processes used for cold builds; warm
+    store loads ignore it.
+    """
     if config is None:
         config = ExperimentConfig()
+    built = build_all_datasets(list(config.taxonomy_keys),
+                               sample_size=config.sample_size,
+                               jobs=jobs)
     rows = []
-    for key in config.taxonomy_keys:
-        pools = build_pools(key, sample_size=config.sample_size)
+    for key, pools in built.items():
         for stat in pools.statistics():
             rows.append({"taxonomy": key, **stat})
     return rows

@@ -205,7 +205,7 @@ class TaxonomyOracle:
         type.
         """
         chain = ([anchor] if anchor_is_target else []) \
-            + taxonomy.ancestors(anchor.node_id)
+            + list(taxonomy.ancestors(anchor.node_id))
         chain_ids = {node.node_id for node in chain}
         truth = asked.node_id in chain_ids
         kind = QuestionKind.POSITIVE

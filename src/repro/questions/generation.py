@@ -84,15 +84,21 @@ def _tf_question(taxonomy: Taxonomy, taxonomy_key: str,
 
 def _sample_easy_negative(taxonomy: Taxonomy, child: TaxonomyNode,
                           rng: random.Random) -> TaxonomyNode | None:
-    """A random parent-level node that is not the true parent."""
+    """A random parent-level node that is not the true parent.
+
+    One bounded draw: sample an index over the level minus one slot and
+    shift picks at/after the parent's position up by one.  Uniform over
+    the non-parent candidates (the rejection loop's contract) without
+    the degenerate many-retry case when the level is tiny.
+    """
     candidates = taxonomy.nodes_at_level(child.level - 1)
     if len(candidates) < 2:
         return None
-    parent_id = child.parent_id
-    while True:
-        pick = rng.choice(candidates)
-        if pick.node_id != parent_id:
-            return pick
+    parent_pos = taxonomy.position_in_level(child.parent_id)
+    pick = rng.randrange(len(candidates) - 1)
+    if pick >= parent_pos:
+        pick += 1
+    return candidates[pick]
 
 
 def _mcq_distractors(taxonomy: Taxonomy, child: TaxonomyNode,

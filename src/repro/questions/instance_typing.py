@@ -175,10 +175,12 @@ def build_instance_typing_pools(
 
 def _random_other(taxonomy: Taxonomy, truth: TaxonomyNode,
                   rng: random.Random) -> TaxonomyNode | None:
+    """A random same-level node other than ``truth`` (one bounded draw)."""
     pool = taxonomy.nodes_at_level(truth.level)
     if len(pool) < 2:
         return None
-    while True:
-        pick = rng.choice(pool)
-        if pick.node_id != truth.node_id:
-            return pick
+    truth_pos = taxonomy.position_in_level(truth.node_id)
+    pick = rng.randrange(len(pool) - 1)
+    if pick >= truth_pos:
+        pick += 1
+    return pool[pick]

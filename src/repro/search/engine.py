@@ -154,7 +154,7 @@ class HybridRouter:
         truth_ancestor = None
         if truth_node_id is not None:
             chain = [taxonomy.node(truth_node_id)] \
-                + taxonomy.ancestors(truth_node_id)
+                + list(taxonomy.ancestors(truth_node_id))
             truth_ancestor = next(
                 (node for node in chain
                  if node.level == self.hybrid.cut_level), None)

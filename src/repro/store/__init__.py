@@ -1,0 +1,42 @@
+"""repro.store — the fast dataset pipeline.
+
+The paper's benchmark datasets are a pure function of
+``(taxonomy spec, sample_size, seed)``, so this package computes them
+once and serves them from disk afterwards:
+
+* :class:`ArtifactStore` — content-addressed on-disk cache of built
+  taxonomies + question pools (compact columnar JSON); warm loads do
+  zero generation work and stale artifacts self-invalidate because the
+  cache key fingerprints the spec, the request, the schema version and
+  the generator source code.
+* :func:`build_all_datasets` — fans cold builds out across processes
+  with results bit-identical to a sequential build.
+* :func:`spec_fingerprint` / :func:`code_fingerprint` — the cache-key
+  material.
+
+``repro.questions.pools.build_pools`` routes through the default store
+automatically; set ``REPRO_STORE_DIR`` to relocate it or to ``off`` to
+disable caching.
+"""
+
+from repro.store.artifacts import (STORE_ENV, ArtifactStore, StoreStats,
+                                   default_store)
+from repro.store.codec import (ArtifactDecodeError, decode_pools,
+                               encode_pools)
+from repro.store.fingerprint import (SCHEMA_VERSION, code_fingerprint,
+                                     spec_fingerprint)
+from repro.store.parallel import build_all_datasets
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactDecodeError",
+    "StoreStats",
+    "SCHEMA_VERSION",
+    "STORE_ENV",
+    "build_all_datasets",
+    "code_fingerprint",
+    "decode_pools",
+    "default_store",
+    "encode_pools",
+    "spec_fingerprint",
+]

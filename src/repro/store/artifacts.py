@@ -1,0 +1,147 @@
+"""Content-addressed on-disk store for built datasets.
+
+Layout: ``<root>/<taxonomy_key>/<fingerprint>.json`` where the
+fingerprint covers the taxonomy spec, the build request
+(sample_size/seed), the artifact schema version and the generator code
+fingerprint (:mod:`repro.store.fingerprint`).  A spec edit, seed
+change, schema bump or generator code change therefore lands on a new
+path and the stale artifact is simply never read again — invalidation
+is automatic, no manifest to maintain.
+
+Corrupted or truncated artifacts are treated as misses: the store
+rebuilds and rewrites them instead of crashing.  Writes go through a
+temp file + ``os.replace`` so concurrent builders (the parallel driver,
+multiple test processes) never observe half-written JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.generators.registry import get_spec
+from repro.store.codec import ArtifactDecodeError, decode_pools, encode_pools
+from repro.store.fingerprint import spec_fingerprint
+
+#: Environment override for the default store root; set to ``off`` (or
+#: ``0`` / ``none``) to disable on-disk caching entirely.
+STORE_ENV = "REPRO_STORE_DIR"
+
+_DISABLED_VALUES = {"off", "0", "none", "disabled"}
+
+
+@dataclass
+class StoreStats:
+    """Counters for observability and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    invalid: int = 0          # artifacts present but unreadable/stale
+
+    def as_row(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "builds": self.builds, "invalid": self.invalid}
+
+
+class ArtifactStore:
+    """A directory of content-addressed dataset artifacts."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else _default_root()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, taxonomy_key: str,
+                    sample_size: int | None = None,
+                    seed: str = "") -> str:
+        return spec_fingerprint(get_spec(taxonomy_key), sample_size, seed)
+
+    def path_for(self, taxonomy_key: str,
+                 sample_size: int | None = None,
+                 seed: str = "") -> Path:
+        key = get_spec(taxonomy_key).key
+        return (self.root / key /
+                f"{self.fingerprint(key, sample_size, seed)}.json")
+
+    # ------------------------------------------------------------------
+    def load(self, taxonomy_key: str, sample_size: int | None = None,
+             seed: str = ""):
+        """Decoded pools on a warm hit, else ``None`` (miss/corrupt)."""
+        path = self.path_for(taxonomy_key, sample_size, seed)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            pools = decode_pools(payload)
+        except (OSError, ValueError, ArtifactDecodeError):
+            # Corrupted / truncated / stale-schema artifact: drop it and
+            # report a miss so the caller rebuilds.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        self.stats.hits += 1
+        return pools
+
+    def save_payload(self, payload: dict) -> Path:
+        """Atomically persist an encoded artifact payload."""
+        path = self.root / payload["taxonomy_key"] / \
+            f"{payload['fingerprint']}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def save(self, pools, sample_size: int | None = None,
+             seed: str = "") -> Path:
+        """Encode and persist built pools under their fingerprint."""
+        fingerprint = self.fingerprint(pools.taxonomy_key, sample_size,
+                                       seed)
+        return self.save_payload(
+            encode_pools(pools, fingerprint, sample_size, seed))
+
+    # ------------------------------------------------------------------
+    def get_or_build(self, taxonomy_key: str,
+                     sample_size: int | None = None, seed: str = ""):
+        """Warm load when possible, else generate, persist and return."""
+        from repro.questions.pools import generate_pools
+        pools = self.load(taxonomy_key, sample_size, seed)
+        if pools is not None:
+            return pools
+        pools = generate_pools(get_spec(taxonomy_key).key,
+                               sample_size=sample_size, seed=seed)
+        self.stats.builds += 1
+        self.save(pools, sample_size, seed)
+        return pools
+
+
+def _default_root() -> Path:
+    value = os.environ.get(STORE_ENV)
+    if value:
+        return Path(value)
+    return Path.home() / ".cache" / "repro-taxoglimpse" / "datasets"
+
+
+def default_store() -> ArtifactStore | None:
+    """The process-default store, or ``None`` when disabled via env."""
+    value = os.environ.get(STORE_ENV, "").strip().lower()
+    if value in _DISABLED_VALUES:
+        return None
+    return ArtifactStore()

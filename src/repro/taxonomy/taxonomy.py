@@ -8,6 +8,14 @@ needs (Section 2.2):
 * ``uncles(child)`` (siblings of the parent) for **negative-hard** and
   MCQ distractors,
 * ``ancestors(node)`` for instance typing (Section 4.5).
+
+Navigation is index-backed: per-level node arrays and level positions
+are precomputed at construction, and sibling/uncle/ancestor/root
+lookups are memoized the first time they are computed, so the question
+generators' hot loops (which call ``nodes_at_level`` and ``uncles``
+once per sampled child) cost O(1) per call instead of rebuilding
+level-width lists — the difference between linear and quadratic dataset
+builds on 20k-wide NCBI levels.
 """
 
 from __future__ import annotations
@@ -18,12 +26,16 @@ from collections.abc import Iterable, Iterator
 from repro.errors import TaxonomyError, UnknownNodeError
 from repro.taxonomy.node import Domain, TaxonomyNode
 
+_EMPTY_LEVEL: tuple[TaxonomyNode, ...] = ()
+
 
 class Taxonomy:
     """An immutable-by-convention forest of :class:`TaxonomyNode`.
 
     Build instances through :class:`repro.taxonomy.builder.TaxonomyBuilder`
     (which validates) or :func:`repro.taxonomy.io.taxonomy_from_dict`.
+    Navigation results are cached; mutate nodes only by building a new
+    taxonomy (see :class:`repro.taxonomy.edit.TaxonomyEditor`).
     """
 
     def __init__(self, name: str, domain: Domain,
@@ -37,9 +49,22 @@ class Taxonomy:
         self.concept_noun = concept_noun
         self._nodes = nodes
         self._roots = [n.node_id for n in nodes.values() if n.is_root]
-        self._levels: dict[int, list[str]] = {}
+        # Index tables (the generators' hot paths): per-level node
+        # arrays and each node's position inside its level array.
+        level_lists: dict[int, list[TaxonomyNode]] = {}
+        positions: dict[str, int] = {}
         for node in nodes.values():
-            self._levels.setdefault(node.level, []).append(node.node_id)
+            bucket = level_lists.setdefault(node.level, [])
+            positions[node.node_id] = len(bucket)
+            bucket.append(node)
+        self._level_nodes: dict[int, tuple[TaxonomyNode, ...]] = {
+            level: tuple(bucket) for level, bucket in level_lists.items()}
+        self._positions = positions
+        # Memoized relation tables, filled on first use so that cheap
+        # construction (e.g. warm artifact loads) pays nothing up front.
+        self._sibling_cache: dict[str, tuple[TaxonomyNode, ...]] = {}
+        self._ancestor_cache: dict[str, tuple[TaxonomyNode, ...]] = {}
+        self._root_cache: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Basic access
@@ -80,7 +105,7 @@ class Taxonomy:
     @property
     def num_levels(self) -> int:
         """Number of levels including the root level (Table 1 convention)."""
-        return max(self._levels) + 1 if self._levels else 0
+        return max(self._level_nodes) + 1 if self._level_nodes else 0
 
     # ------------------------------------------------------------------
     # Navigation
@@ -97,48 +122,78 @@ class Taxonomy:
         node = self.node(node_id)
         return [self._nodes[c] for c in node.children_ids]
 
-    def siblings(self, node_id: str) -> list[TaxonomyNode]:
-        """Nodes that share the node's parent (other roots for a root)."""
-        node = self.node(node_id)
-        if node.parent_id is None:
-            pool = self._roots
-        else:
-            pool = self._nodes[node.parent_id].children_ids
-        return [self._nodes[i] for i in pool if i != node_id]
+    def siblings(self, node_id: str) -> tuple[TaxonomyNode, ...]:
+        """Nodes that share the node's parent (other roots for a root).
 
-    def uncles(self, node_id: str) -> list[TaxonomyNode]:
+        Computed once per node, then served from the index table.
+        """
+        cached = self._sibling_cache.get(node_id)
+        if cached is None:
+            node = self.node(node_id)
+            pool = (self._roots if node.parent_id is None
+                    else self._nodes[node.parent_id].children_ids)
+            cached = tuple(self._nodes[i] for i in pool if i != node_id)
+            self._sibling_cache[node_id] = cached
+        return cached
+
+    def uncles(self, node_id: str) -> tuple[TaxonomyNode, ...]:
         """Siblings of the node's parent (paper notation ``(e_n.p).s``).
 
         These are the hard-negative candidates: same level as the true
-        parent and close to it in the tree.
+        parent and close to it in the tree.  O(1) after the parent's
+        sibling tuple is first built.
         """
         node = self.node(node_id)
         if node.parent_id is None:
-            return []
+            return _EMPTY_LEVEL
         return self.siblings(node.parent_id)
 
-    def ancestors(self, node_id: str) -> list[TaxonomyNode]:
+    def ancestors(self, node_id: str) -> tuple[TaxonomyNode, ...]:
         """Ancestors from direct parent up to (and including) the root."""
-        chain = []
-        current = self.parent(node_id)
-        while current is not None:
-            chain.append(current)
-            current = self.parent(current.node_id)
-        return chain
+        cached = self._ancestor_cache.get(node_id)
+        if cached is None:
+            nodes = self._nodes
+            chain = []
+            parent_id = self.node(node_id).parent_id
+            while parent_id is not None:
+                current = nodes[parent_id]
+                chain.append(current)
+                parent_id = current.parent_id
+            cached = tuple(chain)
+            self._ancestor_cache[node_id] = cached
+        return cached
 
     def root_of(self, node_id: str) -> TaxonomyNode:
         """The root of the tree containing ``node_id``."""
-        node = self.node(node_id)
-        while node.parent_id is not None:
-            node = self._nodes[node.parent_id]
-        return node
+        cached = self._root_cache.get(node_id)
+        if cached is None:
+            node = self.node(node_id)
+            while node.parent_id is not None:
+                node = self._nodes[node.parent_id]
+            cached = node.node_id
+            self._root_cache[node_id] = cached
+        return self._nodes[cached]
 
-    def nodes_at_level(self, level: int) -> list[TaxonomyNode]:
-        """All nodes at ``level`` (0 = roots); empty list when absent."""
-        return [self._nodes[i] for i in self._levels.get(level, [])]
+    def nodes_at_level(self, level: int) -> tuple[TaxonomyNode, ...]:
+        """All nodes at ``level`` (0 = roots); empty when absent.
+
+        Returns the precomputed level array — no per-call rebuild.
+        """
+        return self._level_nodes.get(level, _EMPTY_LEVEL)
+
+    def position_in_level(self, node_id: str) -> int:
+        """Index of the node inside :meth:`nodes_at_level` of its level.
+
+        Lets samplers draw "any node at this level except X" with a
+        single bounded RNG draw instead of a rejection loop.
+        """
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
 
     def level_width(self, level: int) -> int:
-        return len(self._levels.get(level, []))
+        return len(self._level_nodes.get(level, _EMPTY_LEVEL))
 
     def level_widths(self) -> list[int]:
         """Per-level node counts, root level first (Table 1 column)."""
@@ -163,10 +218,14 @@ class Taxonomy:
 
     def is_ancestor(self, ancestor_id: str, node_id: str) -> bool:
         """True when ``ancestor_id`` lies on the path from node to root."""
-        self.node(ancestor_id)
-        current = self.parent(node_id)
-        while current is not None:
-            if current.node_id == ancestor_id:
+        ancestor = self.node(ancestor_id)
+        node = self.node(node_id)
+        if ancestor.level >= node.level:
+            return False
+        nodes = self._nodes
+        parent_id = node.parent_id
+        while parent_id is not None:
+            if parent_id == ancestor_id:
                 return True
-            current = self.parent(current.node_id)
+            parent_id = nodes[parent_id].parent_id
         return False

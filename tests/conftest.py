@@ -7,13 +7,33 @@ reduced sample sizes so the suite stays fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.benchmark import TaxoGlimpse
 from repro.generators.registry import build_taxonomy
 from repro.questions.pools import build_pools
+from repro.store.artifacts import STORE_ENV
 from repro.taxonomy.builder import TaxonomyBuilder
 from repro.taxonomy.node import Domain
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_store(tmp_path_factory):
+    """Point the artifact store at a per-session scratch directory.
+
+    The suite still exercises the store-backed ``build_pools`` path,
+    but never reads or writes the developer's ``~/.cache`` artifacts —
+    every run starts cold and leaves nothing behind.
+    """
+    previous = os.environ.get(STORE_ENV)
+    os.environ[STORE_ENV] = str(tmp_path_factory.mktemp("artifact-store"))
+    yield
+    if previous is None:
+        os.environ.pop(STORE_ENV, None)
+    else:
+        os.environ[STORE_ENV] = previous
 
 
 @pytest.fixture()

@@ -1,0 +1,218 @@
+"""Artifact store: round-trip fidelity, invalidation, recovery.
+
+The store's contract is that a warm load is indistinguishable from
+regeneration: same question uids, same order, same MCQ options and
+answer indices.  These tests pin that contract for every build path
+(sequential, parallel workers, disk round-trip), plus the
+cache-invalidation rules and the corrupted-artifact recovery path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.generators.registry import get_spec
+from repro.questions.generation import _sample_easy_negative
+from repro.questions.model import DatasetKind
+from repro.questions.pools import build_pools, generate_pools
+from repro.store import (ArtifactStore, build_all_datasets,
+                         decode_pools, encode_pools, spec_fingerprint)
+from repro.store.codec import ArtifactDecodeError
+from repro.store.fingerprint import SCHEMA_VERSION, code_fingerprint
+
+SMALL_KEYS = ("ebay", "geonames", "schema")
+
+
+def _assert_pools_equal(expected, actual):
+    assert expected.taxonomy_key == actual.taxonomy_key
+    assert expected.question_levels == actual.question_levels
+    for kind in DatasetKind:
+        left = expected.total_pool(kind).questions
+        right = actual.total_pool(kind).questions
+        assert left == right, kind
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Round-trip fidelity
+# ----------------------------------------------------------------------
+def test_codec_round_trip_is_lossless(store):
+    pools = generate_pools("ebay", sample_size=20)
+    fingerprint = store.fingerprint("ebay", 20)
+    decoded = decode_pools(encode_pools(pools, fingerprint, 20, ""))
+    _assert_pools_equal(pools, decoded)
+
+
+def test_round_trip_preserves_mcq_options_and_answers(store):
+    pools = generate_pools("schema", sample_size=15)
+    decoded = decode_pools(
+        encode_pools(pools, store.fingerprint("schema", 15), 15, ""))
+    original = pools.total_pool(DatasetKind.MCQ).questions
+    restored = decoded.total_pool(DatasetKind.MCQ).questions
+    assert len(original) > 0
+    for left, right in zip(original, restored):
+        assert left.options == right.options
+        assert left.answer_index == right.answer_index
+        assert left.options[left.answer_index] == left.true_parent_name
+
+
+def test_decoded_taxonomy_materializes_lazily(store):
+    pools = generate_pools("ebay", sample_size=10)
+    decoded = decode_pools(
+        encode_pools(pools, store.fingerprint("ebay", 10), 10, ""))
+    # Questions decode without touching the node graph...
+    assert decoded._taxonomy is None
+    # ...and forcing it reproduces the original structure.
+    taxonomy = decoded.taxonomy
+    assert decoded._taxonomy is taxonomy
+    assert [node.node_id for node in taxonomy] == \
+        [node.node_id for node in pools.taxonomy]
+    assert taxonomy.num_levels == pools.taxonomy.num_levels
+    for node in pools.taxonomy:
+        twin = taxonomy.node(node.node_id)
+        assert (twin.name, twin.level, twin.parent_id) == \
+            (node.name, node.level, node.parent_id)
+
+
+def test_store_round_trip_through_disk(store):
+    direct = generate_pools("ebay", sample_size=20)
+    built = store.get_or_build("ebay", sample_size=20)
+    _assert_pools_equal(direct, built)
+    assert store.stats.builds == 1
+    warm = store.load("ebay", sample_size=20)
+    _assert_pools_equal(direct, warm)
+    assert store.stats.hits == 1
+
+
+def test_parallel_sequential_and_store_loads_agree(store):
+    sequential = {key: generate_pools(key, sample_size=12)
+                  for key in SMALL_KEYS}
+    parallel = build_all_datasets(SMALL_KEYS, sample_size=12, jobs=2,
+                                  store=store, force=True)
+    warm = build_all_datasets(SMALL_KEYS, sample_size=12, store=store)
+    assert list(parallel) == list(SMALL_KEYS)
+    for key in SMALL_KEYS:
+        _assert_pools_equal(sequential[key], parallel[key])
+        _assert_pools_equal(sequential[key], warm[key])
+    assert store.stats.hits == len(SMALL_KEYS)
+
+
+def test_build_pools_uses_explicit_store(store):
+    built = build_pools("geonames", sample_size=10, store=store)
+    assert store.stats.builds == 1
+    again = build_pools("geonames", sample_size=10, store=store)
+    _assert_pools_equal(built, again)
+    assert store.stats.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and invalidation
+# ----------------------------------------------------------------------
+def test_fingerprint_changes_with_request_and_schema():
+    spec = get_spec("ebay")
+    base = spec_fingerprint(spec, 20, "")
+    assert spec_fingerprint(spec, 21, "") != base
+    assert spec_fingerprint(spec, None, "") != base
+    assert spec_fingerprint(spec, 20, "resample-1") != base
+    assert spec_fingerprint(spec, 20, "",
+                            schema_version=SCHEMA_VERSION + 1) != base
+    assert spec_fingerprint(spec, 20, "", code="0" * 16) != base
+    assert spec_fingerprint(get_spec("geonames"), 20, "") != base
+    # Same request, same everything: stable across calls.
+    assert spec_fingerprint(spec, 20, "") == base
+
+
+def test_code_fingerprint_is_stable_and_hex():
+    first = code_fingerprint()
+    assert first == code_fingerprint()
+    assert len(first) == 16
+    int(first, 16)
+
+
+def test_seed_change_lands_on_a_different_artifact(store):
+    store.get_or_build("ebay", sample_size=10, seed="a")
+    store.get_or_build("ebay", sample_size=10, seed="b")
+    assert store.stats.builds == 2
+    paths = {store.path_for("ebay", 10, seed) for seed in ("a", "b")}
+    assert len(paths) == 2
+    assert all(path.exists() for path in paths)
+
+
+def test_schema_bump_invalidates_saved_artifact(store):
+    store.get_or_build("ebay", sample_size=10)
+    path = store.path_for("ebay", 10)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["schema"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(ArtifactDecodeError):
+        decode_pools(payload)
+    assert store.load("ebay", sample_size=10) is None
+    assert store.stats.invalid == 1
+    assert not path.exists()
+
+
+def test_corrupted_artifact_is_rebuilt_not_fatal(store):
+    direct = store.get_or_build("ebay", sample_size=10)
+    path = store.path_for("ebay", 10)
+    path.write_text("{truncated", encoding="utf-8")
+    rebuilt = store.get_or_build("ebay", sample_size=10)
+    _assert_pools_equal(direct, rebuilt)
+    assert store.stats.invalid == 1
+    assert store.stats.builds == 2
+    # The rewrite healed the artifact: next read is a clean hit.
+    assert store.load("ebay", sample_size=10) is not None
+
+
+def test_missing_question_column_is_a_decode_error(store):
+    pools = generate_pools("geonames", sample_size=8)
+    payload = encode_pools(pools, store.fingerprint("geonames", 8), 8, "")
+    del payload["levels"][0]["positive"]
+    with pytest.raises(ArtifactDecodeError):
+        decode_pools(payload)
+
+
+# ----------------------------------------------------------------------
+# Pools and sampling fast paths
+# ----------------------------------------------------------------------
+def test_total_pool_is_cached_per_kind():
+    pools = generate_pools("ebay", sample_size=10)
+    assert pools.total_pool(DatasetKind.EASY) is \
+        pools.total_pool(DatasetKind.EASY)
+    assert pools.total_pool(DatasetKind.EASY) is not \
+        pools.total_pool(DatasetKind.HARD)
+
+
+def test_easy_negative_draw_is_uniform_and_excludes_parent(
+        ebay_taxonomy):
+    child = ebay_taxonomy.nodes_at_level(2)[0]
+    candidates = ebay_taxonomy.nodes_at_level(1)
+    rng = random.Random(7)
+    counts = {node.node_id: 0 for node in candidates}
+    draws = 200 * len(candidates)
+    for _ in range(draws):
+        picked = _sample_easy_negative(ebay_taxonomy, child, rng)
+        counts[picked.node_id] += 1
+    assert counts[child.parent_id] == 0
+    others = [count for node_id, count in counts.items()
+              if node_id != child.parent_id]
+    assert min(others) > 0
+    expected = draws / (len(candidates) - 1)
+    assert max(others) < 2 * expected
+
+
+def test_easy_negative_needs_two_parent_level_nodes(toy_taxonomy):
+    # Level 1 has 3 nodes but level 0 has exactly 2 roots, so a level-1
+    # child always has one alternative; a 1-root taxonomy would not.
+    child = toy_taxonomy.nodes_at_level(1)[0]
+    picked = _sample_easy_negative(toy_taxonomy, child,
+                                   random.Random(0))
+    assert picked is not None
+    assert picked.node_id != child.parent_id
+    assert picked.level == 0

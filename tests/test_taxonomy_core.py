@@ -79,7 +79,7 @@ class TestNavigation:
 
     def test_uncles_of_root_are_empty(self, toy_taxonomy):
         root = _by_name(toy_taxonomy, "Home")
-        assert toy_taxonomy.uncles(root.node_id) == []
+        assert toy_taxonomy.uncles(root.node_id) == ()
 
     def test_uncles_of_level1_are_other_roots(self, toy_taxonomy):
         audio = _by_name(toy_taxonomy, "Audio")
@@ -104,7 +104,7 @@ class TestNavigation:
         assert names == {"Audio", "Video", "Furniture"}
 
     def test_nodes_at_absent_level_empty(self, toy_taxonomy):
-        assert toy_taxonomy.nodes_at_level(9) == []
+        assert toy_taxonomy.nodes_at_level(9) == ()
 
     def test_level_widths(self, toy_taxonomy):
         assert toy_taxonomy.level_widths() == [2, 3, 5]

@@ -51,7 +51,7 @@ def test_ancestor_chain_ends_at_a_root(taxonomy):
     for node in taxonomy:
         chain = taxonomy.ancestors(node.node_id)
         if node.is_root:
-            assert chain == []
+            assert chain == ()
         else:
             assert chain[-1].is_root
             assert len(chain) == node.level
