@@ -1,0 +1,220 @@
+"""Bench RUN — run-ledger streaming overhead and resume speedup.
+
+Measures the two costs the ledger design promises to keep small,
+against a backend with a deterministic per-call latency (the same
+endpoint simulation as ``bench_engine_throughput``: the ledger exists
+for runs against real, slow endpoints, so that is the regime the
+gates are calibrated for):
+
+* **streaming overhead** — the same evaluation with and without a
+  ledger sink attached (default ``durability="cell"``: every append
+  flushed, fsync at cell boundaries).  Gate: <= 10% wall-time
+  overhead.
+* **resume speedup** — a run killed at 90% completion, resumed from
+  its ledger (only the missing 10% of questions are re-asked), versus
+  executing the same run cold.  Gate: >= 5x faster.
+
+Run standalone for a seconds-scale smoke (used by ``scripts/check.sh``
+and CI)::
+
+    PYTHONPATH=src python benchmarks/bench_run_ledger.py --smoke
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.runner import EvaluationRunner
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.questions.model import DatasetKind
+from repro.questions.pools import build_pools
+from repro.runs import (RunLedger, RunRegistry, RunRequest, create_run,
+                        execute_run, resume_run)
+
+#: Pass thresholds (asserted by the pytest bench and ``--smoke``).
+MAX_STREAMING_OVERHEAD = 0.10
+MIN_RESUME_SPEEDUP = 5.0
+
+REPS = 3
+
+
+class LatencySimulatingModel(BaseChatModel):
+    """A ChatModel answering like GPT-4 after a fixed sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        if self.latency_s:
+            time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+class KilledMidRunError(RuntimeError):
+    """The injected crash the killer resolver raises."""
+
+
+class _KillerModel:
+    """Wraps a model; dies once a shared call budget is spent."""
+
+    def __init__(self, inner, counter: dict, lock: threading.Lock):
+        self.inner = inner
+        self.name = inner.name
+        self._counter = counter
+        self._lock = lock
+
+    def generate(self, prompt: str) -> str:
+        with self._lock:
+            if self._counter["budget"] <= 0:
+                raise KilledMidRunError("killed at 90%")
+            self._counter["budget"] -= 1
+        return self.inner.generate(prompt)
+
+
+def _killer_resolver(budget: int, latency_s: float):
+    counter = {"budget": budget}
+    lock = threading.Lock()
+    return lambda name: _KillerModel(
+        LatencySimulatingModel(latency_s), counter, lock)
+
+
+def _measure(sample_size: int = 60,
+             latency_s: float = 0.001) -> list[dict[str, object]]:
+    """Time in-memory vs ledgered evaluation, then cold vs resumed."""
+    root = tempfile.mkdtemp(prefix="repro-bench-runs-")
+    try:
+        registry = RunRegistry(root)
+        request = RunRequest(models=("GPT-4",),
+                             taxonomy_keys=("ebay",),
+                             sample_size=sample_size)
+        pool = build_pools("ebay", sample_size=sample_size).total_pool(
+            DatasetKind.HARD)
+
+        # Warm the oracle's lazy indexes and the artifact store so the
+        # one-time build cost lands in neither side of a comparison.
+        EvaluationRunner().evaluate(LatencySimulatingModel(0.0), pool)
+
+        # -- streaming overhead: same pool, with / without a ledger --
+        # Drain pending writeback first: the ledger's cell-boundary
+        # fsync otherwise pays for whatever a previous bench left in
+        # the page cache, which the in-memory side never would.
+        _drain_io()
+        memory_times, ledger_times = [], []
+        for _ in range(REPS):       # interleaved, so drift hits both
+            memory_times.append(_time_in_memory(pool, latency_s))
+            ledger_times.append(_time_ledgered(pool, latency_s, root))
+        memory_s = min(memory_times)
+        ledger_s = min(ledger_times)
+        overhead = ledger_s / memory_s - 1.0
+
+        # -- resume: kill at 90%, finish from the ledger ------------
+        resolve = lambda name: LatencySimulatingModel(latency_s)
+        cold_s = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            cold = execute_run(request, registry=registry,
+                               resolve_model=resolve)
+            cold_s = min(cold_s, time.perf_counter() - started)
+        resume_s = float("inf")
+        replayed = evaluated = 0
+        for _ in range(2):
+            run_id = create_run(request, registry=registry)
+            try:
+                execute_run(request, registry=registry, run_id=run_id,
+                            resolve_model=_killer_resolver(
+                                int(cold.evaluated * 0.9), latency_s))
+            except KilledMidRunError:
+                pass
+            started = time.perf_counter()
+            resumed = resume_run(run_id, registry=registry,
+                                 resolve_model=resolve)
+            resume_s = min(resume_s, time.perf_counter() - started)
+            replayed, evaluated = resumed.replayed, resumed.evaluated
+        speedup = cold_s / resume_s
+
+        n = len(pool)
+        return [
+            {"mode": "in-memory", "n": n,
+             "wall_s": f"{memory_s:.3f}", "gate": "-"},
+            {"mode": "ledgered", "n": n,
+             "wall_s": f"{ledger_s:.3f}",
+             "gate": f"overhead {overhead:+.1%}"},
+            {"mode": "cold run", "n": n,
+             "wall_s": f"{cold_s:.3f}", "gate": "-"},
+            {"mode": f"resume ({replayed} replayed, "
+                     f"{evaluated} asked)", "n": n,
+             "wall_s": f"{resume_s:.3f}",
+             "gate": f"speedup {speedup:.1f}x"},
+        ]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _drain_io() -> None:
+    try:
+        os.sync()
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        pass
+
+
+def _time_in_memory(pool, latency_s: float) -> float:
+    runner = EvaluationRunner(keep_records=True)
+    started = time.perf_counter()
+    runner.evaluate(LatencySimulatingModel(latency_s), pool)
+    return time.perf_counter() - started
+
+
+def _time_ledgered(pool, latency_s: float, root: str) -> float:
+    path = tempfile.mktemp(suffix=".jsonl", dir=root)
+    started = time.perf_counter()
+    with RunLedger(path) as ledger:
+        ledger.run_started("bench")
+        runner = EvaluationRunner(keep_records=True, ledger=ledger)
+        runner.evaluate(LatencySimulatingModel(latency_s), pool)
+        ledger.run_finished(1)
+    return time.perf_counter() - started
+
+
+def _gate(rows: list[dict[str, object]], prefix: str) -> float:
+    row = next(row for row in rows
+               if str(row["gate"]).startswith(prefix))
+    value = str(row["gate"]).split()[-1]
+    return float(value.rstrip("%x")) / (100.0 if "%" in value else 1.0)
+
+
+def _assert_gates(rows: list[dict[str, object]]) -> None:
+    overhead = _gate(rows, "overhead")
+    assert overhead <= MAX_STREAMING_OVERHEAD, \
+        f"ledger streaming overhead {overhead:.1%} exceeds " \
+        f"{MAX_STREAMING_OVERHEAD:.0%}"
+    speedup = _gate(rows, "speedup")
+    assert speedup >= MIN_RESUME_SPEEDUP, \
+        f"resume of a 90%-complete run is only {speedup:.1f}x " \
+        f"faster than cold (gate: {MIN_RESUME_SPEEDUP:.0f}x)"
+
+
+def test_run_ledger(benchmark, report):
+    rows = once(benchmark, _measure)
+    _assert_gates(rows)
+    report(format_rows(
+        rows, title="Run ledger: streaming overhead + resume "
+                    "(1 ms simulated latency)"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    smoke = "--smoke" in sys.argv
+    table = _measure(sample_size=40 if smoke else 60)
+    _assert_gates(table)
+    print(format_rows(table, title="Run ledger smoke" if smoke
+                      else "Run ledger"))

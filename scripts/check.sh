@@ -15,4 +15,7 @@ python benchmarks/bench_engine_throughput.py
 echo "== dataset pipeline smoke =="
 python benchmarks/bench_dataset_build.py --smoke
 
+echo "== run ledger smoke =="
+python benchmarks/bench_run_ledger.py --smoke
+
 echo "check.sh: all green"

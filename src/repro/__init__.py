@@ -19,11 +19,13 @@ from repro.core import (EvaluationRunner, Metrics, PoolResult,
                         TAXONOMY_LABELS)
 from repro.engine import (EngineConfig, EngineStats, EvaluationEngine,
                           ResponseCache, RetryPolicy)
-from repro.errors import (CalibrationError, ExperimentError, ModelError,
+from repro.errors import (CalibrationError, ExperimentError,
+                          LedgerCorruptError, ModelError,
                           ModelTimeoutError, ModelTransientError,
                           PromptError, QuestionGenerationError,
-                          ReproError, TaxonomyError, UnknownModelError,
-                          UnknownNodeError, ValidationError)
+                          ReproError, RunError, TaxonomyError,
+                          UnknownModelError, UnknownNodeError,
+                          UnknownRunError, ValidationError)
 from repro.generators import (ALL_SPECS, TAXONOMY_KEYS, build_all,
                               build_taxonomy, get_spec)
 from repro.hybrid import (CaseStudyConfig, CaseStudyResult,
@@ -36,6 +38,8 @@ from repro.questions import (Answer, DatasetKind, Question,
                              QuestionKind, QuestionPool, QuestionType,
                              TaxonomyPools, build_pools,
                              render_question)
+from repro.runs import (RunLedger, RunRegistry, RunRequest, RunResult,
+                        diff_runs, execute_run, load_run, resume_run)
 from repro.store import (ArtifactStore, build_all_datasets,
                          default_store, spec_fingerprint)
 from repro.taxonomy import (Domain, Taxonomy, TaxonomyBuilder,
@@ -95,6 +99,15 @@ __all__ = [
     "EngineStats",
     "RetryPolicy",
     "ResponseCache",
+    # run ledger
+    "RunLedger",
+    "RunRegistry",
+    "RunRequest",
+    "RunResult",
+    "diff_runs",
+    "execute_run",
+    "load_run",
+    "resume_run",
     # hybrid
     "HybridTaxonomy",
     "MembershipModel",
@@ -114,4 +127,7 @@ __all__ = [
     "UnknownModelError",
     "ExperimentError",
     "CalibrationError",
+    "RunError",
+    "UnknownRunError",
+    "LedgerCorruptError",
 ]

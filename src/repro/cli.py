@@ -13,6 +13,11 @@
     python -m repro scalability
     python -m repro table --workers 8 --cache /tmp/responses.json
     python -m repro engine-stats --workers 8 --sample 60
+    python -m repro run --models GPT-4 --taxonomies ebay --sample 60
+    python -m repro runs list --json
+    python -m repro runs show <run-id>
+    python -m repro runs resume <run-id> --workers 8
+    python -m repro runs diff <run-id-a> <run-id-b>
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
@@ -22,6 +27,7 @@ paper-scale sizes).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -43,9 +49,12 @@ from repro.experiments.scalability import (efficiency_summary,
                                            figure7_rows)
 from repro.experiments.statistics import table1_rows
 from repro.hybrid.case_study import CaseStudyConfig, run_case_study
+from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
+from repro.runs import (RunRegistry, RunRequest, diff_runs,
+                        execute_run, load_run, resume_run)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -139,7 +148,63 @@ def _parser() -> argparse.ArgumentParser:
                               choices=list(TAXONOMY_ORDER))
     engine_stats.add_argument("--sample", type=int, default=60)
     _add_engine_options(engine_stats)
+
+    run = commands.add_parser(
+        "run", help="execute a sweep through the durable run ledger")
+    run.add_argument("--dataset", choices=["hard", "easy", "mcq"],
+                     default="hard")
+    _add_scope(run)
+    run.add_argument("--settings", nargs="+", default=["zero-shot"],
+                     choices=[s.value for s in PromptSetting],
+                     metavar="SETTING")
+    run.add_argument("--seed", default="",
+                     help="sampling seed (default: paper pools)")
+    run.add_argument("--per-level", action="store_true",
+                     help="one cell per question level (Figure 3 "
+                          "shape) instead of level-combined pools")
+    _add_runs_dir(run)
+    _add_engine_options(run)
+
+    runs = commands.add_parser(
+        "runs", help="inspect, resume and diff ledgered runs")
+    runs_commands = runs.add_subparsers(dest="runs_command",
+                                        required=True)
+
+    runs_list = runs_commands.add_parser(
+        "list", help="every run in the registry")
+    runs_list.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _add_runs_dir(runs_list)
+
+    runs_show = runs_commands.add_parser(
+        "show", help="manifest and per-cell metrics of one run")
+    runs_show.add_argument("run_id")
+    runs_show.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _add_runs_dir(runs_show)
+
+    runs_resume = runs_commands.add_parser(
+        "resume", help="finish an interrupted run from its ledger")
+    runs_resume.add_argument("run_id")
+    _add_runs_dir(runs_resume)
+    _add_engine_options(runs_resume)
+
+    runs_diff = runs_commands.add_parser(
+        "diff", help="per-cell metric deltas and answer flips "
+                     "between two runs")
+    runs_diff.add_argument("run_a")
+    runs_diff.add_argument("run_b")
+    runs_diff.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _add_runs_dir(runs_diff)
     return parser
+
+
+def _add_runs_dir(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--runs-dir", default=None, metavar="DIR",
+                         help="run registry directory (default: "
+                              "$REPRO_RUNS_DIR or ~/.cache/"
+                              "repro-taxoglimpse/runs)")
 
 
 def _add_scope(command: argparse.ArgumentParser,
@@ -335,6 +400,142 @@ def _cmd_engine_stats(args: argparse.Namespace) -> str:
               f"workers={engine.config.max_workers})")
 
 
+def _registry(args: argparse.Namespace) -> RunRegistry:
+    return RunRegistry(args.runs_dir)
+
+
+def _run_result_report(result, title: str) -> str:
+    if result.request.per_level:
+        rows = [{
+            "cell": key.cell_id,
+            "accuracy": f"{pool_result.metrics.accuracy:.3f}",
+            "miss_rate": f"{pool_result.metrics.miss_rate:.3f}",
+            "n": pool_result.metrics.n,
+        } for key, pool_result in result.cells.items()]
+        table = format_rows(rows, title=title)
+    else:
+        bench = TaxoGlimpse()
+        tables = []
+        for setting in result.request.settings:
+            label = (f"{title} [{setting}]"
+                     if len(result.request.settings) > 1 else title)
+            tables.append(bench.format_table(result.matrix(setting),
+                                             title=label))
+        table = "\n".join(tables)
+    footer = (f"\nrun {result.run_id}: {len(result.cells)} cells, "
+              f"{result.evaluated} evaluated, "
+              f"{result.replayed} replayed from ledger")
+    if result.stats is not None:
+        footer += "\n" + format_engine_stats(result.stats)
+    return table + footer
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    request = RunRequest(
+        dataset=args.dataset,
+        models=tuple(args.models),
+        taxonomy_keys=tuple(args.taxonomies),
+        settings=tuple(args.settings),
+        sample_size=args.sample,
+        seed=args.seed,
+        per_level=args.per_level,
+        workers=max(1, args.workers),
+        retries=max(0, args.retries),
+    )
+    engine = _build_engine(args) if args.workers > 1 else None
+    result = execute_run(request, registry=_registry(args),
+                         engine=engine)
+    if engine is not None:
+        _persist_cache(engine, args)
+    return _run_result_report(
+        result, title=f"Ledgered run on {args.dataset} datasets")
+
+
+def _cmd_runs(args: argparse.Namespace) -> str:
+    return _RUNS_COMMANDS[args.runs_command](args)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> str:
+    summaries = _registry(args).list_runs()
+    if args.json:
+        return json.dumps([summary.to_dict() for summary in summaries],
+                          indent=1)
+    if not summaries:
+        return "no runs in registry"
+    return format_rows([summary.as_row() for summary in summaries],
+                       title="Ledgered runs")
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> str:
+    registry = _registry(args)
+    manifest = registry.manifest(args.run_id)
+    state = registry.state(args.run_id)
+    cell_rows = []
+    for cell_id, cell in state.cells.items():
+        cell_rows.append({
+            "cell": cell_id,
+            "n": cell.expected_n,
+            "recorded": len(cell.records),
+            "accuracy": (f"{cell.metrics.accuracy:.3f}"
+                         if cell.complete else "-"),
+            "miss_rate": (f"{cell.metrics.miss_rate:.3f}"
+                          if cell.complete else "-"),
+            "status": "done" if cell.complete else "partial",
+        })
+    if args.json:
+        return json.dumps({
+            "manifest": manifest,
+            "finished": state.finished,
+            "attempts": state.attempts,
+            "stats": state.stats,
+            "cells": cell_rows,
+        }, indent=1)
+    status = "finished" if state.finished else "partial"
+    header = (f"run {args.run_id} [{status}, "
+              f"attempt {state.attempts}] "
+              f"request={json.dumps(manifest['request'])}")
+    return header + "\n" + format_rows(cell_rows, title="Cells")
+
+
+def _cmd_runs_resume(args: argparse.Namespace) -> str:
+    engine = _build_engine(args) if args.workers > 1 else None
+    result = resume_run(args.run_id, registry=_registry(args),
+                        engine=engine)
+    if engine is not None:
+        _persist_cache(engine, args)
+    return _run_result_report(
+        result, title=f"Resumed run {args.run_id}")
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> str:
+    registry = _registry(args)
+    diff = diff_runs(load_run(args.run_a, registry=registry),
+                     load_run(args.run_b, registry=registry))
+    if args.json:
+        return json.dumps(diff.to_dict(), indent=1)
+    table = format_rows(
+        diff.rows(), title=f"Diff {diff.run_a} -> {diff.run_b}")
+    footer = (f"\n{len(diff.changed_cells)} changed cells, "
+              f"{diff.total_flips} answer flips")
+    if diff.only_in_a:
+        footer += f"\nonly in {diff.run_a}: " + \
+            ", ".join(diff.only_in_a)
+    if diff.only_in_b:
+        footer += f"\nonly in {diff.run_b}: " + \
+            ", ".join(diff.only_in_b)
+    if diff.identical:
+        footer += "\nruns are identical"
+    return table + footer
+
+
+_RUNS_COMMANDS = {
+    "list": _cmd_runs_list,
+    "show": _cmd_runs_show,
+    "resume": _cmd_runs_resume,
+    "diff": _cmd_runs_diff,
+}
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,
@@ -349,6 +550,8 @@ _COMMANDS = {
     "deploy": _cmd_deploy,
     "errors": _cmd_errors,
     "engine-stats": _cmd_engine_stats,
+    "run": _cmd_run,
+    "runs": _cmd_runs,
 }
 
 

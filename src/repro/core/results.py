@@ -1,4 +1,14 @@
-"""Result records produced by the evaluation runner."""
+"""Result records produced by the evaluation runner.
+
+Besides the in-memory dataclasses this module owns their JSON codec:
+the run ledger (:mod:`repro.runs.ledger`) streams every
+:class:`QuestionRecord` and :class:`Metrics` to disk as it is
+produced, and a record decoded from a ledger must compare equal to —
+and score identically to — the record the runner built live.  That is
+why :meth:`QuestionRecord.correct` compares answers by value, never by
+identity: enum singletons survive a round trip, but plain strings (a
+hand-built record, a future codec change) must score the same way.
+"""
 
 from __future__ import annotations
 
@@ -21,11 +31,11 @@ class QuestionRecord:
 
     @property
     def missed(self) -> bool:
-        return self.parsed.is_miss
+        return Answer(self.parsed).is_miss
 
     @property
     def correct(self) -> bool:
-        return (not self.missed) and self.parsed is self.expected
+        return (not self.missed) and self.parsed == self.expected
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,3 +59,43 @@ def metrics_from_records(records: list[QuestionRecord]) -> Metrics:
     correct = sum(1 for record in records if record.correct)
     missed = sum(1 for record in records if record.missed)
     return summarize(correct, missed, len(records))
+
+
+# ----------------------------------------------------------------------
+# JSON codec (ledger events, run registry round trips)
+# ----------------------------------------------------------------------
+def record_to_dict(record: QuestionRecord) -> dict[str, str]:
+    """A JSON-compatible dict; inverse of :func:`record_from_dict`."""
+    return {
+        "uid": record.question_uid,
+        "model": record.model,
+        "setting": record.setting,
+        "response": record.response,
+        "parsed": Answer(record.parsed).value,
+        "expected": Answer(record.expected).value,
+    }
+
+
+def record_from_dict(payload: dict) -> QuestionRecord:
+    """Rebuild a record; decoded records score identically to live ones."""
+    return QuestionRecord(
+        question_uid=payload["uid"],
+        model=payload["model"],
+        setting=payload["setting"],
+        response=payload["response"],
+        parsed=Answer(payload["parsed"]),
+        expected=Answer(payload["expected"]),
+    )
+
+
+def metrics_to_dict(metrics: Metrics) -> dict[str, object]:
+    """JSON floats round-trip exactly, so decoded metrics are bit-equal."""
+    return {"accuracy": metrics.accuracy,
+            "miss_rate": metrics.miss_rate,
+            "n": metrics.n}
+
+
+def metrics_from_dict(payload: dict) -> Metrics:
+    return Metrics(accuracy=payload["accuracy"],
+                   miss_rate=payload["miss_rate"],
+                   n=payload["n"])

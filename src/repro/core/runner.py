@@ -11,10 +11,21 @@ A runner can optionally carry a
 fans out over the engine's worker pool behind its middleware stack
 (cache, retry, rate limit, timeout).  Records come back in question
 order either way, so the engine path yields bit-identical metrics.
+
+A runner can also carry a ``ledger`` sink (duck-typed; see
+:class:`repro.runs.ledger.RunLedger`): each ``evaluate`` call then
+becomes one *cell* — the runner emits cell-started, streams every
+scored question as it completes (from the engine's collector thread
+under fan-out, so the sink only needs to be thread-safe across cells),
+and seals the cell with its metrics.  :meth:`complete_cell` is the
+resume path: given the records a previous attempt already persisted,
+it re-asks only the missing question indices and merges, producing a
+result bit-identical to an uninterrupted evaluation.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import TYPE_CHECKING
 
 from repro.core.metrics import Metrics
@@ -28,19 +39,23 @@ from repro.questions.pools import QuestionPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from repro.engine.scheduler import EvaluationEngine
+    from repro.runs.ledger import RunLedger
 
 
 class EvaluationRunner:
     """Drives models over question pools and scores the answers."""
 
     def __init__(self, variant: int = 0, keep_records: bool = False,
-                 engine: "EvaluationEngine | None" = None):
+                 engine: "EvaluationEngine | None" = None,
+                 ledger: "RunLedger | None" = None):
         #: Template paraphrase variant (0 is the paper's main results).
         self.variant = variant
         #: Whether PoolResults carry per-question records.
         self.keep_records = keep_records
         #: Optional execution engine; ``None`` runs sequentially.
         self.engine = engine
+        #: Optional run-ledger sink; ``None`` keeps results in memory.
+        self.ledger = ledger
 
     def ask(self, model: ChatModel, question: Question,
             setting: PromptSetting = PromptSetting.ZERO_SHOT,
@@ -60,35 +75,96 @@ class EvaluationRunner:
             expected=question.expected_answer,
         )
 
-    def _ask_all(self, model: ChatModel,
-                 questions: tuple[Question, ...],
-                 setting: PromptSetting,
-                 pool_questions: tuple[Question, ...]
-                 ) -> list[QuestionRecord]:
-        """All records, in question order, engine-accelerated if set."""
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cell_id(model: ChatModel, label: str,
+                setting: PromptSetting) -> str:
+        """The ledger cell identifier for one evaluate call."""
+        return f"{model.name}|{label}|{setting.value}"
+
+    def _ask_indexed(self, model: ChatModel,
+                     indexed: list[tuple[int, Question]],
+                     setting: PromptSetting,
+                     pool_questions: tuple[Question, ...],
+                     cell: str | None = None
+                     ) -> list[tuple[int, QuestionRecord]]:
+        """Score ``(original index, question)`` pairs, streaming each
+        record into the ledger (keyed by its *original* index) the
+        moment it exists — not when the whole batch returns."""
+        ledger = self.ledger if cell is not None else None
         if self.engine is None:
-            return [self.ask(model, question, setting,
-                             pool_questions=pool_questions)
-                    for question in questions]
-        return self.engine.run(
-            model, questions,
+            out: list[tuple[int, QuestionRecord]] = []
+            for index, question in indexed:
+                record = self.ask(model, question, setting,
+                                  pool_questions=pool_questions)
+                if ledger is not None:
+                    ledger.record(cell, index, record)
+                out.append((index, record))
+            return out
+        on_result = None
+        if ledger is not None:
+            def on_result(position: int,
+                          record: QuestionRecord) -> None:
+                ledger.record(cell, indexed[position][0], record)
+        records = self.engine.run(
+            model, [question for _, question in indexed],
             lambda wrapped, question: self.ask(
                 wrapped, question, setting,
-                pool_questions=pool_questions))
+                pool_questions=pool_questions),
+            on_result=on_result)
+        return [(indexed[i][0], record)
+                for i, record in enumerate(records)]
 
+    def _evaluate_cell(self, model: ChatModel,
+                       questions: tuple[Question, ...],
+                       setting: PromptSetting, label: str,
+                       done: Mapping[int, QuestionRecord] | None = None
+                       ) -> PoolResult:
+        """One ledgered cell: skip ``done`` indices, merge, seal."""
+        done = dict(done or {})
+        cell = None
+        if self.ledger is not None:
+            cell = self.cell_id(model, label, setting)
+            self.ledger.cell_started(cell, len(questions))
+        indexed = [(index, question)
+                   for index, question in enumerate(questions)
+                   if index not in done]
+        for index, record in self._ask_indexed(
+                model, indexed, setting,
+                pool_questions=questions, cell=cell):
+            done[index] = record
+        records = [done[index] for index in range(len(questions))]
+        metrics = metrics_from_records(records)
+        if self.ledger is not None:
+            self.ledger.cell_finished(cell, metrics)
+        return PoolResult(
+            pool_label=label,
+            model=model.name,
+            setting=setting.value,
+            metrics=metrics,
+            records=tuple(records) if self.keep_records else (),
+        )
+
+    # ------------------------------------------------------------------
     def evaluate(self, model: ChatModel, pool: QuestionPool,
                  setting: PromptSetting = PromptSetting.ZERO_SHOT
                  ) -> PoolResult:
         """Score ``model`` on every question of ``pool``."""
-        records = self._ask_all(model, pool.questions, setting,
-                                pool_questions=pool.questions)
-        return PoolResult(
-            pool_label=pool.label,
-            model=model.name,
-            setting=setting.value,
-            metrics=metrics_from_records(records),
-            records=tuple(records) if self.keep_records else (),
-        )
+        return self._evaluate_cell(model, pool.questions, setting,
+                                   label=pool.label)
+
+    def complete_cell(self, model: ChatModel, pool: QuestionPool,
+                      setting: PromptSetting,
+                      done: Mapping[int, QuestionRecord]) -> PoolResult:
+        """Finish a partially recorded cell (the resume path).
+
+        ``done`` maps question index -> record as replayed from the
+        ledger; only the holes are re-asked.  Because prompts, pools
+        and the simulated backends are deterministic, the merged
+        result is bit-identical to an uninterrupted :meth:`evaluate`.
+        """
+        return self._evaluate_cell(model, pool.questions, setting,
+                                   label=pool.label, done=done)
 
     def evaluate_questions(self, model: ChatModel,
                            questions: tuple[Question, ...],
@@ -96,15 +172,8 @@ class EvaluationRunner:
                            PromptSetting.ZERO_SHOT,
                            label: str = "ad-hoc") -> PoolResult:
         """Score a bare question tuple (instance typing pools)."""
-        records = self._ask_all(model, questions, setting,
-                                pool_questions=questions)
-        return PoolResult(
-            pool_label=label,
-            model=model.name,
-            setting=setting.value,
-            metrics=metrics_from_records(records),
-            records=tuple(records) if self.keep_records else (),
-        )
+        return self._evaluate_cell(model, questions, setting,
+                                   label=label)
 
     def evaluate_matrix(self, models: list[ChatModel],
                         pools: dict[str, QuestionPool],

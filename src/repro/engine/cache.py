@@ -16,6 +16,8 @@ backend.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -106,18 +108,43 @@ class ResponseCache:
         return cache
 
     def save(self, path: str | Path) -> None:
-        """Write the cache as a JSON document (creating parent dirs)."""
+        """Atomically write the cache as JSON (creating parent dirs).
+
+        Temp file + ``os.replace``, the same protocol as
+        ``repro.store.artifacts``: a crash mid-persistence leaves the
+        previous file intact instead of a truncated document.
+        """
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(
-            json.dumps(self.to_dict(), indent=1), encoding="utf-8")
+        handle, tmp = tempfile.mkstemp(dir=target.parent,
+                                       suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(self.to_dict(), stream, indent=1)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path,
              capacity: int | None = None) -> "ResponseCache":
-        """Read a cache written by :meth:`save`."""
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls.from_dict(payload, capacity=capacity)
+        """Read a cache written by :meth:`save`.
+
+        A missing, truncated or otherwise corrupt file yields an
+        *empty* cache rather than an exception: the cache is a
+        performance artifact, and losing it must only cost re-queries,
+        never abort a run.  (Feed :meth:`from_dict` directly to get
+        strict validation.)
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            return cls.from_dict(payload, capacity=capacity)
+        except (OSError, ValueError, ModelError):
+            return cls(capacity=capacity)
 
 
 class CachedModel:

@@ -97,12 +97,21 @@ class EvaluationEngine:
         return wrapped
 
     def run(self, model: ChatModel, items: Sequence[Any],
-            fn: Callable[[ChatModel, Any], R]) -> list[R]:
+            fn: Callable[[ChatModel, Any], R],
+            on_result: Callable[[int, R], None] | None = None
+            ) -> list[R]:
         """``[fn(wrapped_model, item) for item in items]``, faster.
 
         Results come back in ``items`` order no matter which worker
         finished first; an exception in any call cancels the not-yet-
         started remainder and propagates to the caller.
+
+        ``on_result(index, result)`` is invoked once per completed item
+        as it finishes — in submission order on the sequential path, in
+        completion order under fan-out, but always from the collecting
+        thread, never a worker.  The run ledger hangs its streaming
+        record sink here: after a crash, every item whose callback
+        fired is on disk even though ``run`` never returned.
         """
         wrapped = self.wrap(model)
         work = list(items)
@@ -110,9 +119,14 @@ class EvaluationEngine:
         started = self._clock()
         try:
             if workers == 1:
-                return [self._timed(fn, wrapped, item)
-                        for item in work]
-            return self._fan_out(wrapped, work, fn, workers)
+                results = []
+                for index, item in enumerate(work):
+                    result = self._timed(fn, wrapped, item)
+                    if on_result is not None:
+                        on_result(index, result)
+                    results.append(result)
+                return results
+            return self._fan_out(wrapped, work, fn, workers, on_result)
         finally:
             self.telemetry.record_run(self._clock() - started, workers)
 
@@ -135,7 +149,9 @@ class EvaluationEngine:
 
     def _fan_out(self, model: ChatModel, work: list[Any],
                  fn: Callable[[ChatModel, Any], R],
-                 workers: int) -> list[R]:
+                 workers: int,
+                 on_result: Callable[[int, R], None] | None = None
+                 ) -> list[R]:
         results: list[R] = [None] * len(work)  # type: ignore[list-item]
         remaining = iter(range(len(work)))
         pending: dict[Any, int] = {}
@@ -158,6 +174,8 @@ class EvaluationEngine:
                     for future in done:
                         index = pending.pop(future)
                         results[index] = future.result()
+                        if on_result is not None:
+                            on_result(index, results[index])
                         submit_next()
             except BaseException:
                 for future in pending:

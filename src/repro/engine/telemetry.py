@@ -65,6 +65,29 @@ class EngineStats:
             return 0.0
         return self.records / self.wall_time_s
 
+    def to_dict(self) -> dict[str, object]:
+        """Raw counters, JSON-compatible (run-finished ledger events)."""
+        return {
+            "records": self.records,
+            "calls": self.calls,
+            "retries": self.retries,
+            "faults": self.faults,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_time_s": self.wall_time_s,
+            "busy_time_s": self.busy_time_s,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        """Rebuild a snapshot persisted by :meth:`to_dict`."""
+        return cls(**{key: payload[key] for key in (
+            "records", "calls", "retries", "faults", "timeouts",
+            "cache_hits", "cache_misses", "wall_time_s", "busy_time_s",
+            "workers")})
+
     def as_row(self) -> dict[str, object]:
         """One report row (``repro.core.report.format_rows`` shape)."""
         return {

@@ -96,5 +96,34 @@ class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
 
 
+class RunError(ReproError):
+    """Raised when a ledgered run cannot be created, read or resumed."""
+
+
+class UnknownRunError(RunError):
+    """Raised when a run id is not present in the run registry."""
+
+    def __init__(self, run_id: str, root: str | None = None):
+        hint = f" (registry: {root})" if root else ""
+        super().__init__(f"unknown run: {run_id!r}{hint}")
+        self.run_id = run_id
+
+
+class LedgerCorruptError(RunError):
+    """Raised when a ledger file is unreadable beyond a torn tail.
+
+    A torn *final* line is the expected signature of a crash mid-append
+    and is silently dropped by the replayer; corruption anywhere else
+    means the file was tampered with or the disk lied, and replaying
+    past it could silently resurrect wrong records — so we refuse.
+    """
+
+    def __init__(self, path: str, line_number: int, reason: str):
+        super().__init__(
+            f"corrupt ledger {path}:{line_number}: {reason}")
+        self.path = path
+        self.line_number = line_number
+
+
 class CalibrationError(ReproError):
     """Raised when a model profile cannot be calibrated."""

@@ -15,9 +15,11 @@ from repro.experiments.variants import VariantResult, run_variants
 from repro.experiments.datasets import table4_rows
 from repro.experiments.instances import TypingSeries, run_instance_typing
 from repro.experiments.levels import (FIGURE3_KEYS, LevelSeries,
+                                      levels_from_run, levels_request,
                                       run_levels)
 from repro.experiments.overall import (CellComparison, OverallResult,
-                                       run_overall)
+                                       overall_from_run,
+                                       overall_request, run_overall)
 from repro.experiments.popularity import (common_beat_specialized,
                                           figure2_rows)
 from repro.experiments.prompting import (REPRESENTATIVE_MODELS,
@@ -47,9 +49,13 @@ __all__ = [
     "figure2_rows",
     "common_beat_specialized",
     "run_overall",
+    "overall_from_run",
+    "overall_request",
     "OverallResult",
     "CellComparison",
     "run_levels",
+    "levels_from_run",
+    "levels_request",
     "LevelSeries",
     "FIGURE3_KEYS",
     "run_prompting",

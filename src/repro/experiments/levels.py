@@ -9,10 +9,16 @@ species->genus uplift and the OAE leafward rise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.benchmark import TaxoGlimpse
 from repro.experiments.config import ExperimentConfig
 from repro.questions.model import DatasetKind, level_label
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.engine.scheduler import EvaluationEngine
+    from repro.runs.driver import RunResult
+    from repro.runs.registry import RunRegistry
 
 #: Figure 3 omits GeoNames (one question level only).
 FIGURE3_KEYS: tuple[str, ...] = (
@@ -55,10 +61,23 @@ class LevelSeries:
 
 def run_levels(config: ExperimentConfig | None = None,
                dataset: DatasetKind = DatasetKind.HARD,
-               bench: TaxoGlimpse | None = None) -> list[LevelSeries]:
-    """Per-level curves for every (model, taxonomy) pair."""
+               bench: TaxoGlimpse | None = None,
+               registry: "RunRegistry | None" = None,
+               engine: "EvaluationEngine | None" = None
+               ) -> list[LevelSeries]:
+    """Per-level curves for every (model, taxonomy) pair.
+
+    With ``registry`` the per-level sweep executes through the run
+    ledger and :func:`levels_from_run` can rebuild the exact same
+    curves later from disk alone; both paths are bit-identical.
+    """
     if config is None:
         config = ExperimentConfig()
+    if registry is not None:
+        from repro.runs.driver import execute_run
+        run = execute_run(levels_request(config, dataset),
+                          registry=registry, engine=engine)
+        return levels_from_run(run)
     if bench is None:
         bench = TaxoGlimpse(sample_size=config.sample_size,
                             variant=config.variant)
@@ -75,4 +94,39 @@ def run_levels(config: ExperimentConfig | None = None,
                 misses.append(result.metrics.miss_rate)
             series.append(LevelSeries(model, key, tuple(levels),
                                       tuple(accuracies), tuple(misses)))
+    return series
+
+
+def levels_request(config: ExperimentConfig,
+                   dataset: DatasetKind = DatasetKind.HARD):
+    """The per-level :class:`repro.runs.RunRequest` for Figure 3."""
+    from repro.runs.request import RunRequest
+    keys = tuple(key for key in config.taxonomy_keys
+                 if key in FIGURE3_KEYS)
+    return RunRequest(dataset=dataset.value,
+                      models=tuple(config.models),
+                      taxonomy_keys=keys,
+                      sample_size=config.sample_size,
+                      variant=config.variant,
+                      per_level=True)
+
+
+def levels_from_run(run: "RunResult | str",
+                    registry: "RunRegistry | None" = None
+                    ) -> list[LevelSeries]:
+    """Rebuild the Figure 3 curves from a run (or run id) — no models."""
+    from repro.runs.driver import coerce_run
+    result = coerce_run(run, registry=registry)
+    per_pair: dict[tuple[str, str], dict[int, object]] = {}
+    for (model, key, level), metrics in result.level_metrics().items():
+        per_pair.setdefault((key, model), {})[level] = metrics
+    series: list[LevelSeries] = []
+    for key in result.request.taxonomy_keys:
+        for model in result.request.models:
+            by_level = per_pair.get((key, model), {})
+            levels = sorted(by_level)
+            series.append(LevelSeries(
+                model, key, tuple(levels),
+                tuple(by_level[level].accuracy for level in levels),
+                tuple(by_level[level].miss_rate for level in levels)))
     return series

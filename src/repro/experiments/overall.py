@@ -3,17 +3,28 @@
 Runs the full (models x taxonomies) matrix under zero-shot prompting
 and reports measured accuracy/miss next to the paper's numbers, plus
 the absolute deviations — the core reproduction artifact.
+
+Pass ``registry=`` to route the sweep through the durable run ledger
+(:mod:`repro.runs`): every cell and scored question then lands on disk
+as it completes, and :func:`overall_from_run` regenerates the exact
+same table later from the ledger alone — zero model calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.benchmark import TaxoGlimpse
 from repro.core.metrics import Metrics
 from repro.data.paper_tables import paper_anchor
 from repro.experiments.config import ExperimentConfig
 from repro.questions.model import DatasetKind
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.engine.scheduler import EvaluationEngine
+    from repro.runs.driver import RunResult
+    from repro.runs.registry import RunRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,15 +75,60 @@ class OverallResult:
 
 def run_overall(dataset: DatasetKind,
                 config: ExperimentConfig | None = None,
-                bench: TaxoGlimpse | None = None) -> OverallResult:
-    """Regenerate Table 5 (hard), 6 (easy) or 7 (MCQ)."""
+                bench: TaxoGlimpse | None = None,
+                registry: "RunRegistry | None" = None,
+                engine: "EvaluationEngine | None" = None
+                ) -> OverallResult:
+    """Regenerate Table 5 (hard), 6 (easy) or 7 (MCQ).
+
+    With ``registry`` the sweep executes through the run ledger
+    (durable, resumable, reloadable via :func:`overall_from_run`);
+    without it the classic in-memory path runs.  Both produce
+    bit-identical tables.
+    """
     if config is None:
         config = ExperimentConfig()
+    if registry is not None:
+        from repro.runs.driver import execute_run
+        run = execute_run(overall_request(dataset, config),
+                          registry=registry, engine=engine)
+        return overall_from_run(run)
     if bench is None:
         bench = TaxoGlimpse(sample_size=config.sample_size,
                             variant=config.variant)
     matrix = bench.run_table(dataset, models=list(config.models),
                              taxonomy_keys=list(config.taxonomy_keys))
+    return _compare(dataset, matrix)
+
+
+def overall_request(dataset: DatasetKind,
+                    config: ExperimentConfig):
+    """The :class:`repro.runs.RunRequest` this experiment sweeps."""
+    from repro.runs.request import RunRequest
+    return RunRequest(dataset=dataset.value,
+                      models=tuple(config.models),
+                      taxonomy_keys=tuple(config.taxonomy_keys),
+                      sample_size=config.sample_size,
+                      variant=config.variant)
+
+
+def overall_from_run(run: "RunResult | str",
+                     registry: "RunRegistry | None" = None
+                     ) -> OverallResult:
+    """Rebuild the overall table from a run (or run id) — no models.
+
+    Accepts the :class:`RunResult` an execution returned or a bare
+    run id, which is loaded back from its ledger; either way no model
+    is queried, so a finished sweep's table is free forever.
+    """
+    from repro.runs.driver import coerce_run
+    result = coerce_run(run, registry=registry)
+    return _compare(DatasetKind(result.request.dataset),
+                    result.matrix())
+
+
+def _compare(dataset: DatasetKind,
+             matrix: dict[tuple[str, str], Metrics]) -> OverallResult:
     cells = []
     for (model, key), metrics in matrix.items():
         accuracy, miss = paper_anchor(dataset.value, model, key)

@@ -1,0 +1,265 @@
+"""Executing, loading and resuming ledgered runs.
+
+``execute_run`` is the durable counterpart of
+``TaxoGlimpse.run_table``: it plans the request's cell list (one cell
+per model x pool x setting, in a deterministic order), opens the run's
+ledger, and drives every cell through an
+:class:`repro.core.runner.EvaluationRunner` whose ledger sink streams
+each scored question to disk as it completes.  ``load_run`` is the
+inverse — it rebuilds every completed cell's :class:`PoolResult` from
+the ledger alone, with zero model calls, which is what makes a
+finished sweep free to re-report and cheap to diff.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.results import PoolResult
+from repro.core.runner import EvaluationRunner
+from repro.engine.config import EngineConfig, RetryPolicy
+from repro.engine.scheduler import EvaluationEngine
+from repro.engine.telemetry import EngineStats
+from repro.errors import RunError
+from repro.llm.base import ChatModel
+from repro.llm.prompting import PromptSetting
+from repro.llm.registry import get_model
+from repro.core.metrics import Metrics
+from repro.questions.model import DatasetKind, level_label
+from repro.questions.pools import QuestionPool, build_pools
+from repro.runs.ledger import RunLedger
+from repro.runs.registry import RunRegistry
+from repro.runs.request import RunRequest
+
+#: ``level N-M`` / ``level N-root`` scope suffix of per-level pools.
+_LEVEL_SCOPE = re.compile(r"^level (\d+)-")
+
+ModelResolver = Callable[[str], ChatModel]
+
+
+@dataclass(frozen=True, slots=True)
+class CellKey:
+    """Identity of one sweep cell: model x pool x setting."""
+
+    model: str
+    taxonomy_key: str
+    dataset: str
+    setting: str
+    level: int | None = None
+
+    @property
+    def scope(self) -> str:
+        return "total" if self.level is None else level_label(self.level)
+
+    @property
+    def pool_label(self) -> str:
+        return f"{self.taxonomy_key}/{self.dataset}/{self.scope}"
+
+    @property
+    def cell_id(self) -> str:
+        """The ledger's cell identifier (model|pool label|setting)."""
+        return f"{self.model}|{self.pool_label}|{self.setting}"
+
+    @classmethod
+    def parse(cls, cell_id: str) -> "CellKey | None":
+        """Inverse of :attr:`cell_id`; ``None`` for ad-hoc labels."""
+        parts = cell_id.split("|")
+        if len(parts) != 3:
+            return None
+        model, label, setting = parts
+        label_parts = label.split("/")
+        if len(label_parts) != 3:
+            return None
+        taxonomy_key, dataset, scope = label_parts
+        if scope == "total":
+            level = None
+        else:
+            match = _LEVEL_SCOPE.match(scope)
+            if match is None:
+                return None
+            level = int(match.group(1))
+        return cls(model=model, taxonomy_key=taxonomy_key,
+                   dataset=dataset, setting=setting, level=level)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one executed, resumed or loaded run."""
+
+    run_id: str
+    request: RunRequest
+    cells: dict[CellKey, PoolResult]
+    stats: EngineStats | None = None
+    #: Questions actually sent to a model by this invocation.
+    evaluated: int = 0
+    #: Questions served from the ledger by this invocation.
+    replayed: int = 0
+    #: Cells this invocation re-entered partway (resume only).
+    resumed_cells: tuple[str, ...] = field(default=())
+
+    def matrix(self, setting: str | None = None
+               ) -> dict[tuple[str, str], Metrics]:
+        """(model, taxonomy) -> metrics over level-combined cells."""
+        wanted = setting or self.request.settings[0]
+        return {(key.model, key.taxonomy_key): result.metrics
+                for key, result in self.cells.items()
+                if key.level is None and key.setting == wanted}
+
+    def level_metrics(self, setting: str | None = None
+                      ) -> dict[tuple[str, str, int], Metrics]:
+        """(model, taxonomy, level) -> metrics over per-level cells."""
+        wanted = setting or self.request.settings[0]
+        return {(key.model, key.taxonomy_key, key.level): result.metrics
+                for key, result in self.cells.items()
+                if key.level is not None and key.setting == wanted}
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def plan_cells(request: RunRequest,
+               pools: dict[str, object] | None = None
+               ) -> list[CellKey]:
+    """The request's cell list, in deterministic execution order."""
+    if pools is None:
+        pools = build_request_pools(request)
+    cells: list[CellKey] = []
+    for model in request.models:
+        for key in request.taxonomy_keys:
+            levels = (pools[key].question_levels if request.per_level
+                      else [None])
+            for setting in request.settings:
+                for level in levels:
+                    cells.append(CellKey(
+                        model=model, taxonomy_key=key,
+                        dataset=request.dataset, setting=setting,
+                        level=level))
+    return cells
+
+
+def build_request_pools(request: RunRequest) -> dict[str, object]:
+    """Question pools per taxonomy (served from the artifact store)."""
+    return {key: build_pools(key, sample_size=request.sample_size,
+                             seed=request.seed)
+            for key in request.taxonomy_keys}
+
+
+def _pool_for(cell: CellKey, pools: dict[str, object]) -> QuestionPool:
+    taxonomy_pools = pools[cell.taxonomy_key]
+    kind = DatasetKind(cell.dataset)
+    if cell.level is None:
+        return taxonomy_pools.total_pool(kind)
+    return taxonomy_pools.level_pool(cell.level, kind)
+
+
+def _build_engine(request: RunRequest) -> EvaluationEngine | None:
+    if request.workers <= 1:
+        return None
+    config = EngineConfig(
+        max_workers=request.workers,
+        retry=RetryPolicy(retries=max(0, request.retries)))
+    return EvaluationEngine(config)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def create_run(request: RunRequest,
+               registry: RunRegistry | None = None) -> str:
+    """Plan the request and allocate its run directory + manifest."""
+    registry = registry if registry is not None else RunRegistry()
+    pools = build_request_pools(request)
+    return registry.create(request, cells=len(plan_cells(request,
+                                                         pools)))
+
+
+def execute_run(request: RunRequest,
+                registry: RunRegistry | None = None,
+                run_id: str | None = None,
+                engine: EvaluationEngine | None = None,
+                resolve_model: ModelResolver | None = None,
+                keep_records: bool = True,
+                durability: str = "cell") -> RunResult:
+    """Run the full sweep, streaming every event into the ledger.
+
+    A crash (model failure, kill, power loss) leaves the ledger with
+    everything completed so far; ``resume_run`` on the same ``run_id``
+    finishes the job without repeating any scored question.
+    """
+    registry = registry if registry is not None else RunRegistry()
+    resolve = resolve_model if resolve_model is not None else get_model
+    pools = build_request_pools(request)
+    cells = plan_cells(request, pools)
+    if run_id is None:
+        run_id = registry.create(request, cells=len(cells))
+    if engine is None:
+        engine = _build_engine(request)
+    results: dict[CellKey, PoolResult] = {}
+    evaluated = 0
+    with RunLedger(registry.ledger_path(run_id),
+                   durability=durability) as ledger:
+        ledger.run_started(run_id)
+        runner = EvaluationRunner(variant=request.variant,
+                                  keep_records=keep_records,
+                                  engine=engine, ledger=ledger)
+        for cell in cells:
+            pool = _pool_for(cell, pools)
+            results[cell] = runner.evaluate(
+                resolve(cell.model), pool, PromptSetting(cell.setting))
+            evaluated += len(pool)
+        stats = engine.stats() if engine is not None else None
+        ledger.run_finished(len(cells),
+                            stats.to_dict() if stats else None)
+    return RunResult(run_id=run_id, request=request, cells=results,
+                     stats=stats, evaluated=evaluated)
+
+
+# ----------------------------------------------------------------------
+# Loading (zero model calls)
+# ----------------------------------------------------------------------
+def load_run(run_id: str,
+             registry: RunRegistry | None = None,
+             keep_records: bool = True) -> RunResult:
+    """Rebuild a run's :class:`PoolResult`s from its ledger alone.
+
+    Only completed cells are returned; partially recorded cells need
+    :func:`repro.runs.resume.resume_run` to finish first.  No model,
+    pool or taxonomy is touched — this is a pure disk read, which is
+    what makes every paper table reconstructible offline.
+    """
+    registry = registry if registry is not None else RunRegistry()
+    request = registry.request(run_id)
+    state = registry.state(run_id)
+    cells: dict[CellKey, PoolResult] = {}
+    replayed = 0
+    for cell_id, cell_state in state.cells.items():
+        if not cell_state.complete:
+            continue
+        key = CellKey.parse(cell_id)
+        if key is None:         # ad-hoc label outside the sweep space
+            continue
+        records = cell_state.ordered_records()
+        replayed += len(records)
+        cells[key] = PoolResult(
+            pool_label=key.pool_label,
+            model=key.model,
+            setting=key.setting,
+            metrics=cell_state.metrics,
+            records=records if keep_records else (),
+        )
+    stats = (EngineStats.from_dict(state.stats)
+             if state.stats else None)
+    return RunResult(run_id=run_id, request=request, cells=cells,
+                     stats=stats, replayed=replayed)
+
+
+def coerce_run(run: "RunResult | str",
+               registry: RunRegistry | None = None) -> RunResult:
+    """Accept a :class:`RunResult` or a run id and return the result."""
+    if isinstance(run, RunResult):
+        return run
+    if isinstance(run, str):
+        return load_run(run, registry=registry)
+    raise RunError(f"expected RunResult or run id, got {run!r}")

@@ -1,0 +1,210 @@
+"""The run registry: a directory of content-addressed run directories.
+
+Layout: ``<root>/<fingerprint12>-<seq>/`` with two files per run —
+``manifest.json`` (the frozen :class:`RunRequest`, its fingerprint and
+creation time; written atomically via temp file + ``os.replace``) and
+``ledger.jsonl`` (the append-only event log).  The fingerprint covers
+the full run request plus the generator code fingerprint, so runs of
+different sweeps — or of the same sweep across a generator change —
+can never collide; the ``-<seq>`` suffix separates repeated runs of
+the identical request.
+
+``REPRO_RUNS_DIR`` relocates the default root (the tests point it at
+a per-session scratch directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import RunError, UnknownRunError
+from repro.runs.ledger import (LEDGER_FILENAME, RunState, replay_ledger)
+from repro.runs.request import LEDGER_SCHEMA_VERSION, RunRequest
+
+#: Environment override for the default registry root.
+RUNS_ENV = "REPRO_RUNS_DIR"
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+def default_runs_root() -> Path:
+    value = os.environ.get(RUNS_ENV)
+    if value:
+        return Path(value)
+    return Path.home() / ".cache" / "repro-taxoglimpse" / "runs"
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """One registry listing row (``repro runs list``)."""
+
+    run_id: str
+    dataset: str
+    models: int
+    taxonomies: int
+    settings: str
+    sample_size: int | None
+    per_level: bool
+    cells_total: int
+    cells_done: int
+    questions: int
+    finished: bool
+    created_at: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "dataset": self.dataset,
+            "models": self.models,
+            "taxonomies": self.taxonomies,
+            "settings": self.settings,
+            "sample": ("cochran" if self.sample_size is None
+                       else self.sample_size),
+            "per_level": "yes" if self.per_level else "no",
+            "cells": f"{self.cells_done}/{self.cells_total}",
+            "questions": self.questions,
+            "status": "finished" if self.finished else "partial",
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable listing entry (``runs list --json``)."""
+        return {
+            "run_id": self.run_id,
+            "dataset": self.dataset,
+            "models": self.models,
+            "taxonomies": self.taxonomies,
+            "settings": self.settings.split(","),
+            "sample_size": self.sample_size,
+            "per_level": self.per_level,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "questions": self.questions,
+            "finished": self.finished,
+            "created_at": self.created_at,
+        }
+
+
+class RunRegistry:
+    """Create, enumerate and load ledgered runs under one root."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = (Path(root) if root is not None
+                     else default_runs_root())
+
+    # ------------------------------------------------------------------
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def ledger_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / LEDGER_FILENAME
+
+    def manifest_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / MANIFEST_FILENAME
+
+    # ------------------------------------------------------------------
+    def create(self, request: RunRequest, cells: int) -> str:
+        """Allocate a run directory and persist its manifest.
+
+        The run id is ``<request fingerprint[:12]>-<seq>``; the seq
+        suffix is claimed with an exclusive ``mkdir`` so two
+        concurrent creators of the same request get distinct runs.
+        """
+        prefix = request.fingerprint()[:12]
+        self.root.mkdir(parents=True, exist_ok=True)
+        for seq in range(1, 10_000):
+            run_id = f"{prefix}-{seq:02d}"
+            try:
+                self.run_dir(run_id).mkdir(parents=True,
+                                           exist_ok=False)
+            except FileExistsError:
+                continue
+            self._write_manifest(run_id, request, cells)
+            return run_id
+        raise RunError(  # pragma: no cover - 10k reruns of one sweep
+            f"run id space exhausted for fingerprint {prefix}")
+
+    def _write_manifest(self, run_id: str, request: RunRequest,
+                        cells: int) -> None:
+        payload = {
+            "format_version": LEDGER_SCHEMA_VERSION,
+            "run_id": run_id,
+            "fingerprint": request.fingerprint(),
+            "created_at": time.time(),
+            "cells": cells,
+            "request": request.to_dict(),
+        }
+        target = self.manifest_path(run_id)
+        handle, tmp = tempfile.mkstemp(dir=target.parent,
+                                       suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=1)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def manifest(self, run_id: str) -> dict:
+        path = self.manifest_path(run_id)
+        if not path.exists():
+            raise UnknownRunError(run_id, str(self.root))
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise RunError(
+                f"corrupt manifest for run {run_id!r}: {exc}") from exc
+
+    def request(self, run_id: str) -> RunRequest:
+        return RunRequest.from_dict(self.manifest(run_id)["request"])
+
+    def state(self, run_id: str) -> RunState:
+        """Replay the run's ledger (empty state if never started)."""
+        if not self.manifest_path(run_id).exists():
+            raise UnknownRunError(run_id, str(self.root))
+        path = self.ledger_path(run_id)
+        if not path.exists():
+            return RunState(run_id=run_id)
+        return replay_ledger(path)
+
+    # ------------------------------------------------------------------
+    def list_ids(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / MANIFEST_FILENAME).exists())
+
+    def list_runs(self) -> list[RunSummary]:
+        """Summaries for every run, oldest first."""
+        summaries = [self.summary(run_id)
+                     for run_id in self.list_ids()]
+        return sorted(summaries,
+                      key=lambda s: (s.created_at, s.run_id))
+
+    def summary(self, run_id: str) -> RunSummary:
+        manifest = self.manifest(run_id)
+        request = RunRequest.from_dict(manifest["request"])
+        state = self.state(run_id)
+        return RunSummary(
+            run_id=run_id,
+            dataset=request.dataset,
+            models=len(request.models),
+            taxonomies=len(request.taxonomy_keys),
+            settings=",".join(request.settings),
+            sample_size=request.sample_size,
+            per_level=request.per_level,
+            cells_total=int(manifest.get("cells", 0)),
+            cells_done=state.completed_cells,
+            questions=state.recorded_questions,
+            finished=state.finished,
+            created_at=float(manifest.get("created_at", 0.0)),
+        )

@@ -1,0 +1,109 @@
+"""Crash-safe resume: finish an interrupted run without repeating work.
+
+``resume_run`` replays the run's ledger, then walks the request's cell
+plan in the same deterministic order the original execution used:
+
+* a cell with a ``cell-finished`` event is decoded straight from the
+  ledger — zero model calls;
+* a cell with records but no seal (the crash point) is *re-entered at
+  the exact question indices that are missing*: the engine may have
+  completed indices out of order before dying, so the holes are an
+  arbitrary subset, and only they are re-asked;
+* a cell the first attempt never reached runs in full.
+
+Because pools, prompts and the simulated backends are pure functions
+of the request, the merged records — part decoded, part freshly asked
+— are bit-identical to an uninterrupted run's, at any worker count.
+The resumed attempt appends to the *same* ledger (a ``run-started``
+event with an incremented attempt count marks the seam), so the file
+remains the complete, append-only history of the run.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import PoolResult
+from repro.core.runner import EvaluationRunner
+from repro.engine.scheduler import EvaluationEngine
+from repro.errors import RunError
+from repro.llm.prompting import PromptSetting
+from repro.llm.registry import get_model
+from repro.runs.driver import (CellKey, ModelResolver, RunResult,
+                               _build_engine, _pool_for,
+                               build_request_pools, plan_cells)
+from repro.runs.ledger import RunLedger
+from repro.runs.registry import RunRegistry
+
+
+def resume_run(run_id: str,
+               registry: RunRegistry | None = None,
+               engine: EvaluationEngine | None = None,
+               resolve_model: ModelResolver | None = None,
+               keep_records: bool = True,
+               durability: str = "cell") -> RunResult:
+    """Complete ``run_id``, reusing every record already on disk.
+
+    Resuming an already finished run degenerates to a pure ledger
+    load (zero model calls), so the call is idempotent.
+    """
+    registry = registry if registry is not None else RunRegistry()
+    resolve = resolve_model if resolve_model is not None else get_model
+    request = registry.request(run_id)
+    state = registry.state(run_id)
+    pools = build_request_pools(request)
+    cells = plan_cells(request, pools)
+    if engine is None:
+        engine = _build_engine(request)
+
+    results: dict[CellKey, PoolResult] = {}
+    evaluated = 0
+    replayed = 0
+    resumed_cells: list[str] = []
+    with RunLedger(registry.ledger_path(run_id),
+                   durability=durability) as ledger:
+        ledger.run_started(run_id, resumed=True,
+                           attempt=state.attempts + 1)
+        runner = EvaluationRunner(variant=request.variant,
+                                  keep_records=keep_records,
+                                  engine=engine, ledger=ledger)
+        for cell in cells:
+            pool = _pool_for(cell, pools)
+            cell_state = state.cells.get(cell.cell_id)
+            setting = PromptSetting(cell.setting)
+            if cell_state is not None and cell_state.complete:
+                if cell_state.expected_n != len(pool):
+                    raise RunError(
+                        f"cell {cell.cell_id} recorded "
+                        f"{cell_state.expected_n} questions but the "
+                        f"request now plans {len(pool)} — the run "
+                        f"predates a generator change and cannot be "
+                        f"resumed")
+                records = cell_state.ordered_records()
+                replayed += len(records)
+                results[cell] = PoolResult(
+                    pool_label=cell.pool_label,
+                    model=cell.model,
+                    setting=cell.setting,
+                    metrics=cell_state.metrics,
+                    records=records if keep_records else (),
+                )
+                continue
+            model = resolve(cell.model)
+            if cell_state is not None and cell_state.records:
+                done = {index: record
+                        for index, record in cell_state.records.items()
+                        if 0 <= index < len(pool)}
+                resumed_cells.append(cell.cell_id)
+                replayed += len(done)
+                evaluated += len(pool) - len(done)
+                results[cell] = runner.complete_cell(
+                    model, pool, setting, done)
+            else:
+                evaluated += len(pool)
+                results[cell] = runner.evaluate(model, pool, setting)
+        stats = engine.stats() if engine is not None else None
+        ledger.run_finished(len(cells),
+                            stats.to_dict() if stats else None)
+    return RunResult(run_id=run_id, request=request, cells=results,
+                     stats=stats, evaluated=evaluated,
+                     replayed=replayed,
+                     resumed_cells=tuple(resumed_cells))

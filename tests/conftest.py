@@ -14,6 +14,7 @@ import pytest
 from repro.core.benchmark import TaxoGlimpse
 from repro.generators.registry import build_taxonomy
 from repro.questions.pools import build_pools
+from repro.runs.registry import RUNS_ENV
 from repro.store.artifacts import STORE_ENV
 from repro.taxonomy.builder import TaxonomyBuilder
 from repro.taxonomy.node import Domain
@@ -34,6 +35,23 @@ def _hermetic_store(tmp_path_factory):
         os.environ.pop(STORE_ENV, None)
     else:
         os.environ[STORE_ENV] = previous
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_runs(tmp_path_factory):
+    """Point the default run registry at a per-session scratch dir.
+
+    Same contract as the artifact store above: code paths that fall
+    back to the default ``RunRegistry()`` stay exercised without ever
+    touching (or polluting) the developer's ``~/.cache`` runs.
+    """
+    previous = os.environ.get(RUNS_ENV)
+    os.environ[RUNS_ENV] = str(tmp_path_factory.mktemp("run-registry"))
+    yield
+    if previous is None:
+        os.environ.pop(RUNS_ENV, None)
+    else:
+        os.environ[RUNS_ENV] = previous
 
 
 @pytest.fixture()
