@@ -7,6 +7,12 @@ workers, then once more against a warm cache.  Reports wall time,
 speedup over sequential, and the engine's own telemetry; the warm
 rerun must issue **zero** model calls.
 
+The final fan-out pass runs under a recording tracer and its Chrome
+``trace_event`` JSON is written to ``REPRO_TRACE_ARTIFACT`` (default
+``benchmarks/.artifacts/engine_throughput_trace.json``) — CI uploads
+it so a regression's worker interleaving can be eyeballed in
+chrome://tracing without re-running anything.
+
 Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
@@ -14,7 +20,10 @@ Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import once
 
@@ -24,10 +33,17 @@ from repro.engine.config import EngineConfig
 from repro.engine.scheduler import EvaluationEngine
 from repro.llm.base import BaseChatModel
 from repro.llm.registry import get_model
+from repro.obs import Tracer, chrome_trace
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 
 WORKER_COUNTS = (2, 4, 8)
+
+#: Where the traced pass's Chrome trace JSON lands (CI artifact).
+TRACE_ARTIFACT_ENV = "REPRO_TRACE_ARTIFACT"
+DEFAULT_TRACE_ARTIFACT = (Path(__file__).resolve().parent
+                          / ".artifacts"
+                          / "engine_throughput_trace.json")
 
 
 class LatencySimulatingModel(BaseChatModel):
@@ -93,7 +109,25 @@ def _measure(sample_size: int = 15,
                  "wall_s": f"{elapsed:.3f}",
                  "speedup": f"{sequential_s / max(elapsed, 1e-9):.1f}x",
                  "calls": warm_calls})
+
+    _write_trace_artifact(pool, latency_s)
     return rows
+
+
+def _write_trace_artifact(pool, latency_s: float) -> Path:
+    """One traced fan-out pass, exported as Chrome trace JSON."""
+    tracer = Tracer()
+    engine = EvaluationEngine(
+        EngineConfig(max_workers=4, cache=False), tracer=tracer)
+    EvaluationRunner(engine=engine).evaluate(
+        LatencySimulatingModel(latency_s), pool)
+    target = Path(os.environ.get(TRACE_ARTIFACT_ENV,
+                                 DEFAULT_TRACE_ARTIFACT))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace(tracer.spans()), indent=1) + "\n",
+        encoding="utf-8")
+    return target
 
 
 def _speedup(rows: list[dict[str, object]], mode: str) -> float:
@@ -108,6 +142,11 @@ def test_engine_throughput(benchmark, report):
     # A warm rerun is served entirely from the cache.
     warm = next(row for row in rows if row["mode"] == "warm cache")
     assert warm["calls"] == 0
+    # The traced pass exported a non-empty Chrome trace.
+    artifact = Path(os.environ.get(TRACE_ARTIFACT_ENV,
+                                   DEFAULT_TRACE_ARTIFACT))
+    trace = json.loads(artifact.read_text(encoding="utf-8"))
+    assert trace["traceEvents"]
     report(format_rows(
         rows, title="Engine throughput (5 ms simulated latency)"))
 

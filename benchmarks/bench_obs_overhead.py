@@ -1,0 +1,122 @@
+"""Bench OBS — tracing overhead gate (no-op vs. enabled tracer).
+
+Runs the identical engine workload — a sleep-backed model standing in
+for a network endpoint, fanned over worker threads — twice: once with
+the default :data:`repro.obs.NULL_TRACER` and once with a recording
+:class:`repro.obs.Tracer`.  Each variant is measured best-of-N, and
+the gate asserts the enabled tracer costs at most 5% extra wall time
+(plus a small absolute floor so a sub-second smoke run is not failed
+by scheduler jitter).  This is the budget the tentpole promises:
+instrumentation everywhere, observable cost nowhere.
+
+Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.runner import EvaluationRunner
+from repro.engine.config import EngineConfig
+from repro.engine.scheduler import EvaluationEngine
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.obs import NULL_TRACER, Tracer
+from repro.questions.model import DatasetKind
+from repro.questions.pools import build_pools
+
+#: Maximum allowed slowdown of the enabled tracer vs. the no-op.
+OVERHEAD_BUDGET = 0.05
+#: Absolute slack (seconds) so short smoke runs tolerate OS jitter.
+ABSOLUTE_SLACK_S = 0.010
+
+
+class _SleepingModel(BaseChatModel):
+    """GPT-4 answers behind a fixed GIL-releasing sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+def _run_once(pool, latency_s: float, tracer) -> float:
+    model = _SleepingModel(latency_s)
+    engine = EvaluationEngine(
+        EngineConfig(max_workers=4, cache=False), tracer=tracer)
+    runner = EvaluationRunner(engine=engine)
+    started = time.perf_counter()
+    runner.evaluate(model, pool)
+    return time.perf_counter() - started
+
+
+def _measure(sample_size: int = 12, latency_s: float = 0.002,
+             repeats: int = 3) -> dict[str, object]:
+    """Best-of-N wall time for both tracer variants on one pool."""
+    pool = build_pools("ebay", sample_size=sample_size).total_pool(
+        DatasetKind.HARD)
+    # Warm the oracle's lazy indexes outside the measurement.
+    _run_once(pool, 0.0, NULL_TRACER)
+
+    baseline_s = min(_run_once(pool, latency_s, NULL_TRACER)
+                     for _ in range(repeats))
+    tracer = Tracer()
+    traced_s = min(_run_once(pool, latency_s, tracer)
+                   for _ in range(repeats))
+    overhead = traced_s / baseline_s - 1.0
+    return {
+        "n": len(pool),
+        "baseline_s": baseline_s,
+        "traced_s": traced_s,
+        "overhead": overhead,
+        "spans": len(tracer.spans()),
+    }
+
+
+def _rows(result: dict[str, object]) -> list[dict[str, object]]:
+    return [{
+        "n": result["n"],
+        "null_tracer_s": f"{result['baseline_s']:.4f}",
+        "tracer_s": f"{result['traced_s']:.4f}",
+        "overhead": f"{result['overhead'] * 100:+.2f}%",
+        "budget": f"{OVERHEAD_BUDGET * 100:.0f}%",
+        "spans": result["spans"],
+    }]
+
+
+def _within_budget(result: dict[str, object]) -> bool:
+    excess = float(result["traced_s"]) - float(result["baseline_s"])
+    return (excess
+            <= float(result["baseline_s"]) * OVERHEAD_BUDGET
+            + ABSOLUTE_SLACK_S)
+
+
+def test_obs_overhead(benchmark, report):
+    result = once(benchmark, _measure)
+    # The enabled tracer recorded the full span tree...
+    assert result["spans"] > 0
+    # ...within the advertised wall-clock budget.
+    assert _within_budget(result), (
+        f"tracing overhead {result['overhead'] * 100:.2f}% exceeds "
+        f"the {OVERHEAD_BUDGET * 100:.0f}% budget "
+        f"(baseline {result['baseline_s']:.4f}s, "
+        f"traced {result['traced_s']:.4f}s)")
+    report(format_rows(_rows(result),
+                       title="Tracing overhead (2 ms simulated "
+                             "latency, 4 workers)"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    outcome = _measure(sample_size=6, latency_s=0.002, repeats=2)
+    print(format_rows(_rows(outcome), title="Tracing overhead smoke"))
+    if not _within_budget(outcome):
+        raise SystemExit("tracing overhead exceeds budget")

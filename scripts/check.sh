@@ -18,4 +18,7 @@ python benchmarks/bench_dataset_build.py --smoke
 echo "== run ledger smoke =="
 python benchmarks/bench_run_ledger.py --smoke
 
+echo "== tracing overhead smoke =="
+python benchmarks/bench_obs_overhead.py
+
 echo "check.sh: all green"

@@ -34,6 +34,8 @@ from repro.hybrid import (CaseStudyConfig, CaseStudyResult,
 from repro.llm import (MODEL_NAMES, ChatModel, PromptSetting,
                        SimulatedLLM, TaxonomyOracle, all_models,
                        get_model, get_profile, surface_baseline)
+from repro.obs import (NULL_TRACER, MetricsRegistry, Tracer,
+                       chrome_trace, configure_logging)
 from repro.questions import (Answer, DatasetKind, Question,
                              QuestionKind, QuestionPool, QuestionType,
                              TaxonomyPools, build_pools,
@@ -99,6 +101,12 @@ __all__ = [
     "EngineStats",
     "RetryPolicy",
     "ResponseCache",
+    # observability
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "chrome_trace",
+    "configure_logging",
     # run ledger
     "RunLedger",
     "RunRegistry",

@@ -18,10 +18,15 @@
     python -m repro runs show <run-id>
     python -m repro runs resume <run-id> --workers 8
     python -m repro runs diff <run-id-a> <run-id-b>
+    python -m repro obs trace <run-id> --out trace.json
+    python -m repro obs metrics <run-id>
+    python -m repro obs report <run-id>
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
-paper-scale sizes).
+paper-scale sizes).  ``-v``/``-vv`` raise log verbosity (retries,
+injected faults, corrupt-artifact recoveries become visible),
+``-q`` silences everything below errors.
 """
 
 from __future__ import annotations
@@ -36,8 +41,10 @@ from repro.core.report import format_engine_stats, format_rows
 from repro.engine.cache import ResponseCache
 from repro.engine.config import EngineConfig, RetryPolicy
 from repro.engine.scheduler import EvaluationEngine
+from repro.engine.telemetry import EngineStats
 from repro.data.paper_tables import MODEL_ORDER, TAXONOMY_ORDER
 from repro.data.paper_figures import SCALABILITY
+from repro.errors import RunError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.consistency import probe_consistency
 from repro.experiments.errors_analysis import error_breakdown
@@ -51,6 +58,9 @@ from repro.experiments.statistics import table1_rows
 from repro.hybrid.case_study import CaseStudyConfig, run_case_study
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
+from repro.obs import (chrome_trace, configure_logging, flame_report,
+                       format_prometheus, phase_table,
+                       read_spans_jsonl, registry_from_spans)
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 from repro.runs import (RunRegistry, RunRequest, diff_runs,
@@ -62,6 +72,11 @@ def _parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TaxoGlimpse reproduction: benchmark LLMs on "
                     "taxonomies (VLDB 2024)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise log verbosity (-v info, -vv "
+                             "debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log errors only")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("stats", help="Table 1 taxonomy statistics")
@@ -197,6 +212,33 @@ def _parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("--json", action="store_true",
                            help="machine-readable output")
     _add_runs_dir(runs_diff)
+
+    obs = commands.add_parser(
+        "obs", help="export and inspect a run's span log")
+    obs_commands = obs.add_subparsers(dest="obs_command",
+                                      required=True)
+
+    obs_trace = obs_commands.add_parser(
+        "trace", help="Chrome trace_event JSON for chrome://tracing")
+    obs_trace.add_argument("run_id")
+    obs_trace.add_argument("--out", default=None, metavar="PATH",
+                           help="write the trace JSON to PATH "
+                                "instead of stdout")
+    _add_runs_dir(obs_trace)
+
+    obs_metrics = obs_commands.add_parser(
+        "metrics", help="Prometheus-style text dump of span-derived "
+                        "duration histograms")
+    obs_metrics.add_argument("run_id")
+    _add_runs_dir(obs_metrics)
+
+    obs_report = obs_commands.add_parser(
+        "report", help="per-phase wall-clock attribution and ASCII "
+                       "flamegraph")
+    obs_report.add_argument("run_id")
+    obs_report.add_argument("--width", type=int, default=32,
+                            help="flamegraph bar width in characters")
+    _add_runs_dir(obs_report)
     return parser
 
 
@@ -494,7 +536,17 @@ def _cmd_runs_show(args: argparse.Namespace) -> str:
     header = (f"run {args.run_id} [{status}, "
               f"attempt {state.attempts}] "
               f"request={json.dumps(manifest['request'])}")
-    return header + "\n" + format_rows(cell_rows, title="Cells")
+    out = header + "\n" + format_rows(cell_rows, title="Cells")
+    if state.stats:
+        out += "\n" + format_engine_stats(
+            EngineStats.from_dict(state.stats),
+            title="Engine stats (run-finished snapshot)")
+    spans_path = registry.spans_path(args.run_id)
+    if spans_path.exists():
+        spans = read_spans_jsonl(spans_path)
+        if spans:
+            out += "\n" + phase_table(spans)
+    return out
 
 
 def _cmd_runs_resume(args: argparse.Namespace) -> str:
@@ -517,6 +569,14 @@ def _cmd_runs_diff(args: argparse.Namespace) -> str:
         diff.rows(), title=f"Diff {diff.run_a} -> {diff.run_b}")
     footer = (f"\n{len(diff.changed_cells)} changed cells, "
               f"{diff.total_flips} answer flips")
+    perf = diff.perf_summary()
+    if perf is not None:
+        footer += (f"\nwall: {perf['wall_a_s']:.3f}s -> "
+                   f"{perf['wall_b_s']:.3f}s "
+                   f"({perf['wall_delta_s']:+.3f}s), throughput: "
+                   f"{perf['throughput_a']:.1f} -> "
+                   f"{perf['throughput_b']:.1f} q/s "
+                   f"({perf['throughput_delta']:+.1f})")
     if diff.only_in_a:
         footer += f"\nonly in {diff.run_a}: " + \
             ", ".join(diff.only_in_a)
@@ -526,6 +586,51 @@ def _cmd_runs_diff(args: argparse.Namespace) -> str:
     if diff.identical:
         footer += "\nruns are identical"
     return table + footer
+
+
+def _load_run_spans(args: argparse.Namespace):
+    """The run's persisted spans (validates the run id first)."""
+    registry = _registry(args)
+    registry.manifest(args.run_id)       # raises UnknownRunError
+    path = registry.spans_path(args.run_id)
+    if not path.exists():
+        raise RunError(
+            f"run {args.run_id} has no span log ({path}); it was "
+            f"executed with tracing disabled")
+    return read_spans_jsonl(path)
+
+
+def _cmd_obs(args: argparse.Namespace) -> str:
+    return _OBS_COMMANDS[args.obs_command](args)
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> str:
+    document = json.dumps(chrome_trace(_load_run_spans(args)),
+                          indent=1)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(document + "\n")
+        return (f"wrote {args.out} — open it in chrome://tracing "
+                f"or https://ui.perfetto.dev")
+    return document
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> str:
+    registry = registry_from_spans(_load_run_spans(args))
+    return format_prometheus(registry).rstrip("\n")
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> str:
+    spans = _load_run_spans(args)
+    return (phase_table(spans) + "\n\n"
+            + flame_report(spans, width=max(8, args.width)))
+
+
+_OBS_COMMANDS = {
+    "trace": _cmd_obs_trace,
+    "metrics": _cmd_obs_metrics,
+    "report": _cmd_obs_report,
+}
 
 
 _RUNS_COMMANDS = {
@@ -552,12 +657,17 @@ _COMMANDS = {
     "engine-stats": _cmd_engine_stats,
     "run": _cmd_run,
     "runs": _cmd_runs,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    configure_logging(-1 if args.quiet else args.verbose)
+    try:
+        print(_COMMANDS[args.command](args))
+    except BrokenPipeError:      # e.g. `repro obs metrics ... | head`
+        return 0
     return 0
 
 

@@ -25,6 +25,7 @@ result bit-identical to an uninterrupted evaluation.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping
 from typing import TYPE_CHECKING
 
@@ -34,11 +35,13 @@ from repro.core.results import (PoolResult, QuestionRecord,
 from repro.llm.base import ChatModel
 from repro.llm.parsing import parse_answer
 from repro.llm.prompting import PromptSetting, build_prompt
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.questions.model import Question
 from repro.questions.pools import QuestionPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from repro.engine.scheduler import EvaluationEngine
+    from repro.engine.telemetry import Telemetry
     from repro.runs.ledger import RunLedger
 
 
@@ -47,7 +50,9 @@ class EvaluationRunner:
 
     def __init__(self, variant: int = 0, keep_records: bool = False,
                  engine: "EvaluationEngine | None" = None,
-                 ledger: "RunLedger | None" = None):
+                 ledger: "RunLedger | None" = None,
+                 tracer: "Tracer | NullTracer | None" = None,
+                 telemetry: "Telemetry | None" = None):
         #: Template paraphrase variant (0 is the paper's main results).
         self.variant = variant
         #: Whether PoolResults carry per-question records.
@@ -56,6 +61,18 @@ class EvaluationRunner:
         self.engine = engine
         #: Optional run-ledger sink; ``None`` keeps results in memory.
         self.ledger = ledger
+        #: Span recorder: explicit tracer wins, else the engine's,
+        #: else the free no-op.
+        if tracer is not None:
+            self.tracer = tracer
+        elif engine is not None:
+            self.tracer = engine.tracer
+        else:
+            self.tracer = NULL_TRACER
+        #: Optional stats recorder for the *sequential* path (the
+        #: engine records its own telemetry; this fills the gap when
+        #: ``engine is None`` so ledgered runs always persist stats).
+        self.telemetry = telemetry
 
     def ask(self, model: ChatModel, question: Question,
             setting: PromptSetting = PromptSetting.ZERO_SHOT,
@@ -92,11 +109,21 @@ class EvaluationRunner:
         record into the ledger (keyed by its *original* index) the
         moment it exists — not when the whole batch returns."""
         ledger = self.ledger if cell is not None else None
+        parent = self.tracer.current_id()
         if self.engine is None:
             out: list[tuple[int, QuestionRecord]] = []
             for index, question in indexed:
-                record = self.ask(model, question, setting,
-                                  pool_questions=pool_questions)
+                started = time.perf_counter()
+                with self.tracer.span(
+                        "question", parent=parent,
+                        kind=question.kind.value,
+                        level=question.level, uid=question.uid):
+                    record = self.ask(model, question, setting,
+                                      pool_questions=pool_questions)
+                if self.telemetry is not None:
+                    self.telemetry.record_call()
+                    self.telemetry.record_work(
+                        time.perf_counter() - started)
                 if ledger is not None:
                     ledger.record(cell, index, record)
                 out.append((index, record))
@@ -106,12 +133,21 @@ class EvaluationRunner:
             def on_result(position: int,
                           record: QuestionRecord) -> None:
                 ledger.record(cell, indexed[position][0], record)
+
+        def ask_traced(wrapped: ChatModel,
+                       question: Question) -> QuestionRecord:
+            # Runs on a worker thread whose span stack is empty, so
+            # the cell span must be named as the parent explicitly.
+            with self.tracer.span(
+                    "question", parent=parent,
+                    kind=question.kind.value,
+                    level=question.level, uid=question.uid):
+                return self.ask(wrapped, question, setting,
+                                pool_questions=pool_questions)
+
         records = self.engine.run(
             model, [question for _, question in indexed],
-            lambda wrapped, question: self.ask(
-                wrapped, question, setting,
-                pool_questions=pool_questions),
-            on_result=on_result)
+            ask_traced, on_result=on_result)
         return [(indexed[i][0], record)
                 for i, record in enumerate(records)]
 
@@ -129,10 +165,12 @@ class EvaluationRunner:
         indexed = [(index, question)
                    for index, question in enumerate(questions)
                    if index not in done]
-        for index, record in self._ask_indexed(
-                model, indexed, setting,
-                pool_questions=questions, cell=cell):
-            done[index] = record
+        with self.tracer.span("cell", model=model.name, label=label,
+                              setting=setting.value, n=len(indexed)):
+            for index, record in self._ask_indexed(
+                    model, indexed, setting,
+                    pool_questions=questions, cell=cell):
+                done[index] = record
         records = [done[index] for index in range(len(questions))]
         metrics = metrics_from_records(records)
         if self.ledger is not None:

@@ -16,6 +16,7 @@ backend.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -25,8 +26,17 @@ from pathlib import Path
 from repro.engine.telemetry import Telemetry
 from repro.errors import ModelError
 from repro.llm.base import ChatModel
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 _FORMAT_VERSION = 1
+
+_log = logging.getLogger("repro.engine.cache")
+
+#: Global-registry counter names for cache persistence events.
+PERSIST_SAVES = "repro_cache_persist_saves_total"
+PERSIST_LOADS = "repro_cache_persist_loads_total"
+PERSIST_CORRUPT = "repro_cache_persist_corrupt_recoveries_total"
 
 
 class ResponseCache:
@@ -41,6 +51,11 @@ class ResponseCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Persistence counters (mirrored into the global registry so
+        #: silent data loss shows up in metric dumps, not just here).
+        self.saves = 0
+        self.loads = 0
+        self.corrupt_recoveries = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -128,6 +143,10 @@ class ResponseCache:
             except OSError:
                 pass
             raise
+        self.saves += 1
+        global_registry().counter(
+            PERSIST_SAVES, "response caches persisted").add(1)
+        _log.debug("cache-saved path=%s entries=%d", target, len(self))
 
     @classmethod
     def load(cls, path: str | Path,
@@ -137,28 +156,47 @@ class ResponseCache:
         A missing, truncated or otherwise corrupt file yields an
         *empty* cache rather than an exception: the cache is a
         performance artifact, and losing it must only cost re-queries,
-        never abort a run.  (Feed :meth:`from_dict` directly to get
-        strict validation.)
+        never abort a run.  The recovery is counted (instance and
+        global-registry counters) and logged, so the data loss is
+        visible instead of silent.  (Feed :meth:`from_dict` directly
+        to get strict validation.)
         """
+        registry = global_registry()
         try:
             payload = json.loads(Path(path).read_text(encoding="utf-8"))
-            return cls.from_dict(payload, capacity=capacity)
-        except (OSError, ValueError, ModelError):
-            return cls(capacity=capacity)
+            cache = cls.from_dict(payload, capacity=capacity)
+        except (OSError, ValueError, ModelError) as exc:
+            cache = cls(capacity=capacity)
+            if not isinstance(exc, FileNotFoundError):
+                cache.corrupt_recoveries += 1
+                registry.counter(
+                    PERSIST_CORRUPT,
+                    "corrupt cache files recovered as empty").add(1)
+                _log.warning("cache-corrupt recovered path=%s "
+                             "error=%s", path, type(exc).__name__)
+        cache.loads += 1
+        registry.counter(
+            PERSIST_LOADS, "response cache load attempts").add(1)
+        return cache
 
 
 class CachedModel:
     """ChatModel wrapper serving repeated prompts from the cache."""
 
     def __init__(self, inner: ChatModel, cache: ResponseCache,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 tracer: Tracer | NullTracer = NULL_TRACER):
         self.inner = inner
         self.name = inner.name
         self.cache = cache
         self._telemetry = telemetry
+        self._tracer = tracer
 
     def generate(self, prompt: str) -> str:
-        response = self.cache.get(self.name, prompt)
+        with self._tracer.span("cache_lookup",
+                               model=self.name) as span:
+            response = self.cache.get(self.name, prompt)
+            span.set(hit=response is not None)
         if self._telemetry is not None:
             self._telemetry.record_cache(hit=response is not None)
         if response is None:

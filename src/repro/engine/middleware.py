@@ -21,6 +21,7 @@ deterministic (hash of the prompt and attempt number, via
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections.abc import Callable
@@ -31,9 +32,12 @@ from repro.errors import (ModelError, ModelTimeoutError,
                           ModelTransientError)
 from repro.llm.base import ChatModel
 from repro.llm.rng import unit_float
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 Clock = Callable[[], float]
 Sleeper = Callable[[float], None]
+
+_log = logging.getLogger("repro.engine.middleware")
 
 
 def backoff_delay(policy: RetryPolicy, attempt: int,
@@ -64,28 +68,49 @@ class RetryingModel:
 
     def __init__(self, inner: ChatModel, policy: RetryPolicy,
                  telemetry: Telemetry | None = None,
-                 sleeper: Sleeper = time.sleep):
+                 sleeper: Sleeper = time.sleep,
+                 tracer: Tracer | NullTracer = NULL_TRACER):
         self.inner = inner
         self.name = inner.name
         self.policy = policy
         self._telemetry = telemetry
         self._sleep = sleeper
+        self._tracer = tracer
+
+    def _attempt_once(self, prompt: str, attempt: int,
+                      last: ModelTransientError | None
+                      ) -> tuple[str | None, ModelTransientError | None]:
+        if attempt > 0:
+            if self._telemetry is not None:
+                self._telemetry.record_retry()
+            delay = backoff_delay(self.policy, attempt - 1, prompt)
+            _log.info("retry model=%s attempt=%d/%d fault=%s "
+                      "delay=%.4fs", self.name, attempt,
+                      self.policy.retries,
+                      type(last).__name__ if last else "?", delay)
+            self._sleep(delay)
+        try:
+            return self.inner.generate(prompt), None
+        except ModelTransientError as exc:
+            if self._telemetry is not None:
+                self._telemetry.record_fault(
+                    timeout=isinstance(exc, ModelTimeoutError))
+            return None, exc
 
     def generate(self, prompt: str) -> str:
         last: ModelTransientError | None = None
         for attempt in range(self.policy.retries + 1):
-            if attempt > 0:
-                if self._telemetry is not None:
-                    self._telemetry.record_retry()
-                self._sleep(backoff_delay(self.policy, attempt - 1,
-                                          prompt))
-            try:
-                return self.inner.generate(prompt)
-            except ModelTransientError as exc:
-                if self._telemetry is not None:
-                    self._telemetry.record_fault(
-                        timeout=isinstance(exc, ModelTimeoutError))
-                last = exc
+            if attempt == 0:
+                response, fault = self._attempt_once(prompt, 0, None)
+            else:
+                with self._tracer.span(
+                        "retry", model=self.name, attempt=attempt,
+                        fault=type(last).__name__):
+                    response, fault = self._attempt_once(
+                        prompt, attempt, last)
+            if fault is None:
+                return response  # type: ignore[return-value]
+            last = fault
         raise ModelError(
             f"{self.name}: gave up after {self.policy.retries + 1} "
             f"attempts ({last})") from last
@@ -237,6 +262,9 @@ class FaultInjectingModel:
             else:
                 self._streak[prompt] = 0
         if fail:
+            _log.info("fault-injected model=%s streak=%d "
+                      "prompt_hash=%#06x", self.name, streak + 1,
+                      hash(prompt) & 0xffff)
             raise ModelTransientError(
                 f"{self.name}: injected transient fault "
                 f"#{streak + 1} for prompt hash "

@@ -30,21 +30,27 @@ from repro.engine.middleware import (Clock, RateLimitedModel,
                                      TokenBucket)
 from repro.engine.telemetry import EngineStats, Telemetry
 from repro.llm.base import ChatModel
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 R = TypeVar("R")
 
 
 class _CountingModel:
-    """Innermost wrapper: counts attempts that reach the backend."""
+    """Innermost wrapper: counts attempts that reach the backend and
+    wraps each one in a ``model_call`` span (the backend alone — no
+    queueing, no retries, no cache)."""
 
-    def __init__(self, inner: ChatModel, telemetry: Telemetry):
+    def __init__(self, inner: ChatModel, telemetry: Telemetry,
+                 tracer: "Tracer | NullTracer" = NULL_TRACER):
         self.inner = inner
         self.name = inner.name
         self._telemetry = telemetry
+        self._tracer = tracer
 
     def generate(self, prompt: str) -> str:
         self._telemetry.record_call()
-        return self.inner.generate(prompt)
+        with self._tracer.span("model_call", model=self.name):
+            return self.inner.generate(prompt)
 
 
 class EvaluationEngine:
@@ -62,13 +68,18 @@ class EvaluationEngine:
         cache: An explicit :class:`ResponseCache` (e.g. loaded from
             disk); default builds one per ``config.cache``.
         clock: Injectable time source for telemetry (tests).
+        tracer: Span recorder threaded into the middleware stack
+            (``model_call``/``retry``/``cache_lookup`` spans); the
+            default :data:`repro.obs.NULL_TRACER` costs nothing.
     """
 
     def __init__(self, config: EngineConfig | None = None,
                  cache: ResponseCache | None = None,
-                 clock: Clock = time.perf_counter):
+                 clock: Clock = time.perf_counter,
+                 tracer: "Tracer | NullTracer" = NULL_TRACER):
         self.config = config if config is not None else EngineConfig()
         self.telemetry = Telemetry()
+        self.tracer = tracer
         self._clock = clock
         if cache is not None:
             self.cache: ResponseCache | None = cache
@@ -81,7 +92,8 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     def wrap(self, model: ChatModel) -> ChatModel:
         """Apply the middleware stack (documented order) to a model."""
-        wrapped: ChatModel = _CountingModel(model, self.telemetry)
+        wrapped: ChatModel = _CountingModel(model, self.telemetry,
+                                            tracer=self.tracer)
         if self.config.timeout is not None:
             wrapped = TimeoutModel(wrapped, self.config.timeout)
         if self.config.rate is not None:
@@ -90,10 +102,12 @@ class EvaluationEngine:
                                      self.config.burst))
         if self.config.retry is not None:
             wrapped = RetryingModel(wrapped, self.config.retry,
-                                    telemetry=self.telemetry)
+                                    telemetry=self.telemetry,
+                                    tracer=self.tracer)
         if self.cache is not None:
             wrapped = CachedModel(wrapped, self.cache,
-                                  telemetry=self.telemetry)
+                                  telemetry=self.telemetry,
+                                  tracer=self.tracer)
         return wrapped
 
     def run(self, model: ChatModel, items: Sequence[Any],

@@ -1,17 +1,33 @@
 """Telemetry for the execution engine.
 
 A :class:`Telemetry` collector is threaded through the middleware
-stack and the scheduler; every model call, retry, injected fault and
-cache lookup increments a counter under one lock.  ``snapshot()``
-freezes the counters into an :class:`EngineStats` value — the number
-the scalability experiment and the ``repro engine-stats`` CLI report
-instead of poking at raw ``prompts_served`` counters.
+stack and the scheduler.  It is now a facade over a
+:class:`repro.obs.metrics.MetricsRegistry`: every model call, retry,
+injected fault and cache lookup lands in a named counter, and each
+scored question's worker time is observed into a fixed-bucket latency
+histogram — so the engine reports p50/p90/p99 and exact min/max, not
+just a mean.  ``snapshot()`` freezes the registry into an
+:class:`EngineStats` value, the compatibility shape the scalability
+experiment, the run ledger and the ``repro engine-stats`` CLI consume.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Registry names of the engine's metrics (shared with exporters).
+RECORDS = "repro_engine_records_total"
+CALLS = "repro_engine_calls_total"
+RETRIES = "repro_engine_retries_total"
+FAULTS = "repro_engine_faults_total"
+TIMEOUTS = "repro_engine_timeouts_total"
+CACHE_HITS = "repro_engine_cache_hits_total"
+CACHE_MISSES = "repro_engine_cache_misses_total"
+WALL_SECONDS = "repro_engine_wall_seconds_total"
+WORKERS = "repro_engine_workers"
+LATENCY = "repro_engine_question_latency_seconds"
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,7 +38,9 @@ class EngineStats:
     backend (cache hits never do); ``records`` counts questions
     scored.  ``utilization`` is busy worker-seconds over available
     worker-seconds (``wall_time_s * workers``) — 1.0 means every
-    worker computed the whole time.
+    worker computed the whole time.  The ``latency_*`` fields come
+    from the per-question latency histogram: bucket-interpolated
+    quantiles, exact extremes.
     """
 
     records: int
@@ -35,6 +53,11 @@ class EngineStats:
     wall_time_s: float
     busy_time_s: float
     workers: int
+    latency_p50_s: float = 0.0
+    latency_p90_s: float = 0.0
+    latency_p99_s: float = 0.0
+    latency_min_s: float = 0.0
+    latency_max_s: float = 0.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -78,15 +101,28 @@ class EngineStats:
             "wall_time_s": self.wall_time_s,
             "busy_time_s": self.busy_time_s,
             "workers": self.workers,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p90_s": self.latency_p90_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_min_s": self.latency_min_s,
+            "latency_max_s": self.latency_max_s,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EngineStats":
-        """Rebuild a snapshot persisted by :meth:`to_dict`."""
-        return cls(**{key: payload[key] for key in (
+        """Rebuild a snapshot persisted by :meth:`to_dict`.
+
+        The histogram fields default to 0.0 so ledgers written before
+        they existed still load.
+        """
+        stats = {key: payload[key] for key in (
             "records", "calls", "retries", "faults", "timeouts",
             "cache_hits", "cache_misses", "wall_time_s", "busy_time_s",
-            "workers")})
+            "workers")}
+        for key in ("latency_p50_s", "latency_p90_s", "latency_p99_s",
+                    "latency_min_s", "latency_max_s"):
+            stats[key] = float(payload.get(key, 0.0))
+        return cls(**stats)
 
     def as_row(self) -> dict[str, object]:
         """One report row (``repro.core.report.format_rows`` shape)."""
@@ -103,83 +139,91 @@ class EngineStats:
             "wall_s": f"{self.wall_time_s:.3f}",
             "q_per_s": f"{self.throughput:.1f}",
             "utilization": f"{self.utilization:.3f}",
+            "p50_ms": f"{self.latency_p50_s * 1e3:.2f}",
+            "p99_ms": f"{self.latency_p99_s * 1e3:.2f}",
         }
 
 
 class Telemetry:
-    """Thread-safe counters shared by middleware and scheduler."""
+    """Thread-safe recorder shared by middleware and scheduler.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._records = 0
-        self._calls = 0
-        self._retries = 0
-        self._faults = 0
-        self._timeouts = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._busy_time_s = 0.0
-        self._wall_time_s = 0.0
-        self._workers = 1
+    The recording API is unchanged from the counter-bag days; the
+    storage is a :class:`MetricsRegistry` (exposed as ``.registry``)
+    so the same numbers flow to the Prometheus exporter without a
+    second bookkeeping path.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
+        r = self.registry
+        self._records = r.counter(RECORDS, "questions scored")
+        self._calls = r.counter(CALLS,
+                                "model invocations reaching a backend")
+        self._retries = r.counter(RETRIES, "re-attempts after faults")
+        self._faults = r.counter(FAULTS, "transient faults observed")
+        self._timeouts = r.counter(TIMEOUTS, "per-call timeouts")
+        self._cache_hits = r.counter(CACHE_HITS,
+                                     "response cache hits")
+        self._cache_misses = r.counter(CACHE_MISSES,
+                                       "response cache misses")
+        self._wall = r.counter(WALL_SECONDS,
+                               "scheduler wall-clock seconds")
+        self._workers = r.gauge(WORKERS, "peak worker threads")
+        self._latency = r.histogram(
+            LATENCY, "per-question worker seconds")
 
     # ------------------------------------------------------------------
     # Recording (called from worker threads)
     # ------------------------------------------------------------------
     def record_call(self) -> None:
-        with self._lock:
-            self._calls += 1
+        self._calls.add(1)
 
     def record_retry(self) -> None:
-        with self._lock:
-            self._retries += 1
+        self._retries.add(1)
 
     def record_fault(self, timeout: bool = False) -> None:
-        with self._lock:
-            self._faults += 1
-            if timeout:
-                self._timeouts += 1
+        self._faults.add(1)
+        if timeout:
+            self._timeouts.add(1)
 
     def record_cache(self, hit: bool) -> None:
-        with self._lock:
-            if hit:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
+        if hit:
+            self._cache_hits.add(1)
+        else:
+            self._cache_misses.add(1)
 
     def record_work(self, seconds: float) -> None:
         """One question scored, taking ``seconds`` of worker time."""
-        with self._lock:
-            self._records += 1
-            self._busy_time_s += seconds
+        self._records.add(1)
+        self._latency.observe(seconds)
 
     def record_run(self, wall_time_s: float, workers: int) -> None:
         """Account one scheduler pass (called once per run)."""
-        with self._lock:
-            self._wall_time_s += wall_time_s
-            self._workers = max(self._workers, workers)
+        self._wall.add(wall_time_s)
+        self._workers.set_max(workers)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> EngineStats:
-        """Freeze the counters into an immutable stats value."""
-        with self._lock:
-            return EngineStats(
-                records=self._records,
-                calls=self._calls,
-                retries=self._retries,
-                faults=self._faults,
-                timeouts=self._timeouts,
-                cache_hits=self._cache_hits,
-                cache_misses=self._cache_misses,
-                wall_time_s=self._wall_time_s,
-                busy_time_s=self._busy_time_s,
-                workers=self._workers,
-            )
+        """Freeze the registry into an immutable stats value."""
+        return EngineStats(
+            records=int(self._records.value),
+            calls=int(self._calls.value),
+            retries=int(self._retries.value),
+            faults=int(self._faults.value),
+            timeouts=int(self._timeouts.value),
+            cache_hits=int(self._cache_hits.value),
+            cache_misses=int(self._cache_misses.value),
+            wall_time_s=self._wall.value,
+            busy_time_s=self._latency.total,
+            workers=max(1, int(self._workers.value)),
+            latency_p50_s=self._latency.quantile(0.50),
+            latency_p90_s=self._latency.quantile(0.90),
+            latency_p99_s=self._latency.quantile(0.99),
+            latency_min_s=self._latency.min,
+            latency_max_s=self._latency.max,
+        )
 
     def reset(self) -> None:
         """Zero every counter (between benchmark phases)."""
-        with self._lock:
-            self._records = self._calls = self._retries = 0
-            self._faults = self._timeouts = 0
-            self._cache_hits = self._cache_misses = 0
-            self._busy_time_s = self._wall_time_s = 0.0
-            self._workers = 1
+        self.registry.reset()

@@ -1,0 +1,68 @@
+"""repro.obs — spans, metric histograms and trace export.
+
+The observability layer for the whole evaluation stack.  Four pieces:
+
+* ``tracer`` — hierarchical span tracing (``run -> cell -> question ->
+  model_call/retry/cache_lookup``; ``build -> taxonomy ->
+  encode/write`` in the dataset store) with per-thread parenting,
+  explicit cross-thread parents, cross-process span adoption and an
+  injectable clock.  :data:`NULL_TRACER` is the free default.
+* ``metrics`` — named counters, gauges and fixed-bucket histograms
+  (p50/p90/p99 estimates, exact min/max) behind a
+  :class:`MetricsRegistry`; the engine's ``Telemetry`` is a facade
+  over one, and ``EngineStats`` is a compatibility snapshot of it.
+* ``export`` — JSONL span logs persisted next to each run's ledger,
+  Chrome ``trace_event`` JSON for chrome://tracing, Prometheus text.
+* ``report`` — per-phase wall-clock attribution and an ASCII
+  flamegraph for terminals.
+
+Quickstart::
+
+    >>> from repro.obs import Tracer, chrome_trace
+    >>> from repro.runs import RunRequest, execute_run
+    >>> tracer = Tracer()
+    >>> result = execute_run(
+    ...     RunRequest(models=("GPT-4",), taxonomy_keys=("ebay",),
+    ...                sample_size=6), tracer=tracer)
+    >>> names = {span.name for span in tracer.spans()}
+    >>> {"run", "cell", "question"} <= names
+    True
+"""
+
+from repro.obs.export import (JsonlSpanSink, chrome_trace,
+                              format_prometheus, read_spans_jsonl,
+                              registry_from_spans, span_tree,
+                              write_spans_jsonl)
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry,
+                               global_registry)
+from repro.obs.report import (flame_report, phase_chart, phase_rows,
+                              phase_table)
+from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSpanSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "flame_report",
+    "format_prometheus",
+    "get_logger",
+    "global_registry",
+    "phase_chart",
+    "phase_rows",
+    "phase_table",
+    "read_spans_jsonl",
+    "registry_from_spans",
+    "span_tree",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,206 @@
+"""Exporters: span JSONL, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three consumers, three formats:
+
+* :class:`JsonlSpanSink` / :func:`read_spans_jsonl` — the durable
+  form.  One JSON document per finished span, appended next to the
+  run's ledger, torn-final-line tolerant on read (same crash contract
+  as the ledger itself).
+* :func:`chrome_trace` — the ``chrome://tracing`` / Perfetto form:
+  complete ("ph": "X") events with microsecond timestamps, span and
+  parent ids carried in ``args`` so the tree is reconstructible from
+  the JSON alone.
+* :func:`format_prometheus` — a text-format dump of a
+  :class:`repro.obs.metrics.MetricsRegistry`, histograms as
+  cumulative ``_bucket{le=...}`` series plus exact ``_min``/``_max``.
+
+:func:`registry_from_spans` bridges the two halves: it folds a span
+list into per-name duration histograms and counters, which is how
+``repro obs metrics <run-id>`` reports distributions offline from the
+persisted span log with zero model calls.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+
+_log = logging.getLogger("repro.obs.export")
+
+
+# ----------------------------------------------------------------------
+# Span JSONL
+# ----------------------------------------------------------------------
+class JsonlSpanSink:
+    """Append finished spans to a JSONL file as they complete.
+
+    Designed to hang off ``Tracer.sink``: every append is one
+    ``write()`` + ``flush()`` under a lock, so a crashed process
+    keeps every span that finished before it died.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(),
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            self._file.write(line)
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_spans_jsonl(spans, path: str | Path,
+                      append: bool = False) -> Path:
+    """Write a finished span list in one go (non-streaming form)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with open(target, mode, encoding="utf-8") as stream:
+        for span in spans:
+            stream.write(json.dumps(span.to_dict(),
+                                    separators=(",", ":")) + "\n")
+    return target
+
+
+def read_spans_jsonl(path: str | Path) -> tuple[Span, ...]:
+    """Load a span log; a torn final line (crash signature) is dropped
+    with one log line, corruption anywhere else raises."""
+    raw_lines = Path(path).read_text(encoding="utf-8").splitlines()
+    spans: list[Span] = []
+    last = len(raw_lines) - 1
+    for number, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        try:
+            spans.append(Span.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            if number == last:
+                _log.warning(
+                    "torn-span-line dropped path=%s line=%d", path,
+                    number + 1)
+                break
+            raise ValueError(
+                f"corrupt span log {path} at line {number + 1}: "
+                f"{exc!r}") from exc
+    return tuple(spans)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(spans) -> dict:
+    """Render spans as a Chrome ``trace_event`` document.
+
+    Complete events ("ph": "X"), microsecond timestamps relative to
+    the earliest span so the viewer opens at t=0.  ``args`` carries
+    ``span_id``/``parent_id`` plus the span's own attributes, which is
+    what lets a consumer rebuild the exact tree from the JSON.
+    """
+    spans = [span for span in spans if span.end_s is not None]
+    origin = min((span.start_s for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": round((span.start_s - origin) * 1e6, 3),
+            "dur": round(span.duration_s * 1e6, 3),
+            "pid": 1,
+            "tid": span.thread_id,
+            "cat": "repro",
+            "args": {"span_id": span.span_id,
+                     "parent_id": span.parent_id, **span.attrs},
+        })
+    events.sort(key=lambda event: (event["ts"],
+                                   event["args"]["span_id"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_tree(spans) -> dict[int | None, list[Span]]:
+    """Children-by-parent-id index over a span list."""
+    tree: dict[int | None, list[Span]] = {}
+    for span in spans:
+        tree.setdefault(span.parent_id, []).append(span)
+    for children in tree.values():
+        children.sort(key=lambda span: (span.start_s, span.span_id))
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def format_prometheus(registry: MetricsRegistry) -> str:
+    """Text-format dump of every metric in ``registry``."""
+    lines: list[str] = []
+    for name, metric in sorted(registry.metrics().items()):
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind in ("counter", "gauge"):
+            lines.append(f"{name} {_num(metric.value)}")
+            continue
+        cumulative = 0
+        for bound, count in zip(metric.bounds,
+                                metric.bucket_counts()):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_num(bound)}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+        lines.append(f"{name}_sum {_num(metric.total)}")
+        lines.append(f"{name}_count {metric.count}")
+        lines.append(f"{name}_min {_num(metric.min)}")
+        lines.append(f"{name}_max {_num(metric.max)}")
+    return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    """Render without a trailing ``.0`` on integral values."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Spans -> metrics
+# ----------------------------------------------------------------------
+def registry_from_spans(spans) -> MetricsRegistry:
+    """Fold spans into per-name duration histograms and counters."""
+    registry = MetricsRegistry()
+    for span in spans:
+        if span.end_s is None:
+            continue
+        safe = "".join(ch if ch.isalnum() else "_"
+                       for ch in span.name)
+        registry.counter(
+            f"repro_span_{safe}_total",
+            f"finished {span.name} spans").add(1)
+        registry.histogram(
+            f"repro_span_{safe}_seconds",
+            f"duration of {span.name} spans").observe(span.duration_s)
+    return registry

@@ -1,0 +1,57 @@
+"""Stdlib logging under the ``repro.*`` logger hierarchy.
+
+Every module that logs does so through ``logging.getLogger("repro.<its
+dotted path>")``; this module owns the single place that attaches a
+handler, so importing repro never configures logging behind a host
+application's back (library best practice: loggers, no handlers).
+
+:func:`configure_logging` is what the CLI's ``--verbose`` / ``--quiet``
+flags call: verbosity ``-1`` shows only errors, ``0`` (default)
+warnings — recoveries from corruption, torn ledger lines — ``1``
+retries/faults/cache traffic at INFO, and ``2`` everything.  Repeated
+calls reconfigure the same handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the project's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO,
+           2: logging.DEBUG}
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """``repro``-rooted logger (``get_logger("engine.retry")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0,
+                      stream=None) -> logging.Logger:
+    """Attach (or retune) the one stderr handler on ``repro``.
+
+    Args:
+        verbosity: -1 quiet, 0 default, 1 verbose, >=2 debug.
+        stream: Injectable output (tests pass a StringIO).
+    """
+    global _handler
+    level = _LEVELS.get(max(-1, min(2, verbosity)), logging.DEBUG)
+    root = get_logger()
+    if _handler is not None and _handler in root.handlers:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr)
+    _handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(_handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

@@ -39,8 +39,8 @@ from repro.runs.driver import (CellKey, RunResult, coerce_run,
 from repro.runs.ledger import (LEDGER_FILENAME, CellState, RunLedger,
                                RunState, replay_ledger)
 from repro.runs.registry import (MANIFEST_FILENAME, RUNS_ENV,
-                                 RunRegistry, RunSummary,
-                                 default_runs_root)
+                                 SPANS_FILENAME, RunRegistry,
+                                 RunSummary, default_runs_root)
 from repro.runs.request import LEDGER_SCHEMA_VERSION, RunRequest
 from repro.runs.resume import resume_run
 
@@ -60,6 +60,7 @@ __all__ = [
     "RunState",
     "RunSummary",
     "RUNS_ENV",
+    "SPANS_FILENAME",
     "coerce_run",
     "create_run",
     "default_runs_root",

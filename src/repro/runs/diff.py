@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.metrics import Metrics
+from repro.engine.telemetry import EngineStats
 from repro.runs.driver import CellKey, RunResult, coerce_run
 from repro.runs.registry import RunRegistry
 
@@ -103,6 +104,9 @@ class RunDiff:
     cells: tuple[CellDiff, ...]
     only_in_a: tuple[str, ...]
     only_in_b: tuple[str, ...]
+    #: Persisted engine snapshots (``None`` for pre-stats ledgers).
+    stats_a: EngineStats | None = None
+    stats_b: EngineStats | None = None
 
     @property
     def changed_cells(self) -> tuple[CellDiff, ...]:
@@ -117,6 +121,22 @@ class RunDiff:
         return (not self.changed_cells and not self.only_in_a
                 and not self.only_in_b)
 
+    def perf_summary(self) -> dict[str, float] | None:
+        """Wall-clock and throughput deltas, when both runs have
+        persisted stats (``None`` otherwise)."""
+        if self.stats_a is None or self.stats_b is None:
+            return None
+        return {
+            "wall_a_s": self.stats_a.wall_time_s,
+            "wall_b_s": self.stats_b.wall_time_s,
+            "wall_delta_s": (self.stats_b.wall_time_s
+                             - self.stats_a.wall_time_s),
+            "throughput_a": self.stats_a.throughput,
+            "throughput_b": self.stats_b.throughput,
+            "throughput_delta": (self.stats_b.throughput
+                                 - self.stats_a.throughput),
+        }
+
     def rows(self) -> list[dict[str, object]]:
         return [cell.as_row() for cell in self.cells]
 
@@ -129,6 +149,7 @@ class RunDiff:
             "cells": [cell.to_dict() for cell in self.cells],
             "only_in_a": list(self.only_in_a),
             "only_in_b": list(self.only_in_b),
+            "perf": self.perf_summary(),
         }
 
 
@@ -175,4 +196,6 @@ def diff_runs(a: "RunResult | str", b: "RunResult | str",
                         if cell_id not in cells_b),
         only_in_b=tuple(cell_id for cell_id in cells_b
                         if cell_id not in cells_a),
+        stats_a=result_a.stats,
+        stats_b=result_b.stats,
     )

@@ -14,6 +14,7 @@ finished sweep free to re-report and cheap to diff.
 from __future__ import annotations
 
 import re
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -21,12 +22,14 @@ from repro.core.results import PoolResult
 from repro.core.runner import EvaluationRunner
 from repro.engine.config import EngineConfig, RetryPolicy
 from repro.engine.scheduler import EvaluationEngine
-from repro.engine.telemetry import EngineStats
+from repro.engine.telemetry import EngineStats, Telemetry
 from repro.errors import RunError
 from repro.llm.base import ChatModel
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.core.metrics import Metrics
+from repro.obs.export import JsonlSpanSink
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.questions.model import DatasetKind, level_label
 from repro.questions.pools import QuestionPool, build_pools
 from repro.runs.ledger import RunLedger
@@ -163,6 +166,14 @@ def _build_engine(request: RunRequest) -> EvaluationEngine | None:
     return EvaluationEngine(config)
 
 
+def _resolve_tracer(tracer: "Tracer | NullTracer | None",
+                    trace: bool) -> "Tracer | NullTracer":
+    """Explicit tracer wins; else a fresh one (or the no-op)."""
+    if tracer is not None:
+        return tracer
+    return Tracer() if trace else NULL_TRACER
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -181,12 +192,21 @@ def execute_run(request: RunRequest,
                 engine: EvaluationEngine | None = None,
                 resolve_model: ModelResolver | None = None,
                 keep_records: bool = True,
-                durability: str = "cell") -> RunResult:
+                durability: str = "cell",
+                tracer: "Tracer | NullTracer | None" = None,
+                trace: bool = True) -> RunResult:
     """Run the full sweep, streaming every event into the ledger.
 
     A crash (model failure, kill, power loss) leaves the ledger with
     everything completed so far; ``resume_run`` on the same ``run_id``
     finishes the job without repeating any scored question.
+
+    Tracing is on by default: a ``run -> cell -> question`` span tree
+    is streamed to ``spans.jsonl`` next to the ledger (each finished
+    span is one flushed append, the ledger's crash contract), which is
+    what ``repro obs trace <run-id>`` exports.  Pass ``trace=False``
+    for the free no-op tracer, or an explicit ``tracer`` to aggregate
+    spans elsewhere (its own sink is then left untouched).
     """
     registry = registry if registry is not None else RunRegistry()
     resolve = resolve_model if resolve_model is not None else get_model
@@ -196,22 +216,46 @@ def execute_run(request: RunRequest,
         run_id = registry.create(request, cells=len(cells))
     if engine is None:
         engine = _build_engine(request)
+    tracer = _resolve_tracer(tracer, trace)
+    if (engine is not None and tracer.enabled
+            and not engine.tracer.enabled):
+        engine.tracer = tracer
+    telemetry = Telemetry() if engine is None else None
+    sink = None
+    if tracer.enabled and tracer.sink is None:
+        sink = JsonlSpanSink(registry.spans_path(run_id))
+        tracer.sink = sink
     results: dict[CellKey, PoolResult] = {}
     evaluated = 0
-    with RunLedger(registry.ledger_path(run_id),
-                   durability=durability) as ledger:
-        ledger.run_started(run_id)
-        runner = EvaluationRunner(variant=request.variant,
-                                  keep_records=keep_records,
-                                  engine=engine, ledger=ledger)
-        for cell in cells:
-            pool = _pool_for(cell, pools)
-            results[cell] = runner.evaluate(
-                resolve(cell.model), pool, PromptSetting(cell.setting))
-            evaluated += len(pool)
-        stats = engine.stats() if engine is not None else None
-        ledger.run_finished(len(cells),
-                            stats.to_dict() if stats else None)
+    try:
+        with RunLedger(registry.ledger_path(run_id),
+                       durability=durability) as ledger:
+            ledger.run_started(run_id)
+            runner = EvaluationRunner(variant=request.variant,
+                                      keep_records=keep_records,
+                                      engine=engine, ledger=ledger,
+                                      tracer=tracer,
+                                      telemetry=telemetry)
+            started = time.perf_counter()
+            with tracer.span("run", run_id=run_id,
+                             dataset=request.dataset,
+                             workers=request.workers):
+                for cell in cells:
+                    pool = _pool_for(cell, pools)
+                    results[cell] = runner.evaluate(
+                        resolve(cell.model), pool,
+                        PromptSetting(cell.setting))
+                    evaluated += len(pool)
+            if telemetry is not None:
+                telemetry.record_run(
+                    time.perf_counter() - started, 1)
+            stats = (engine.stats() if engine is not None
+                     else telemetry.snapshot())
+            ledger.run_finished(len(cells), stats.to_dict())
+    finally:
+        if sink is not None:
+            tracer.sink = None
+            sink.close()
     return RunResult(run_id=run_id, request=request, cells=results,
                      stats=stats, evaluated=evaluated)
 

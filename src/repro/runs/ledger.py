@@ -26,6 +26,7 @@ raises :class:`repro.errors.LedgerCorruptError`.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
@@ -40,6 +41,8 @@ from repro.errors import LedgerCorruptError, RunError
 
 #: File name of the event log inside a run directory.
 LEDGER_FILENAME = "ledger.jsonl"
+
+_log = logging.getLogger("repro.runs.ledger")
 
 _DURABILITY_MODES = ("record", "cell", "close")
 
@@ -193,7 +196,10 @@ def replay_ledger(path: str | Path) -> RunState:
             _apply(state, event)
         except (ValueError, KeyError, TypeError) as exc:
             if number == last:
-                break           # torn tail: the append died mid-line
+                # Torn tail: the append died mid-line.
+                _log.warning("ledger-torn-line dropped path=%s "
+                             "line=%d", path, number + 1)
+                break
             raise LedgerCorruptError(str(path), number + 1,
                                      repr(exc)) from exc
         state.events += 1

@@ -31,6 +31,9 @@ RUNS_ENV = "REPRO_RUNS_DIR"
 
 MANIFEST_FILENAME = "manifest.json"
 
+#: File name of the span log inside a run directory.
+SPANS_FILENAME = "spans.jsonl"
+
 
 def default_runs_root() -> Path:
     value = os.environ.get(RUNS_ENV)
@@ -105,6 +108,9 @@ class RunRegistry:
 
     def manifest_path(self, run_id: str) -> Path:
         return self.run_dir(run_id) / MANIFEST_FILENAME
+
+    def spans_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / SPANS_FILENAME
 
     # ------------------------------------------------------------------
     def create(self, request: RunRequest, cells: int) -> str:

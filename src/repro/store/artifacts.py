@@ -17,6 +17,7 @@ multiple test processes) never observe half-written JSON.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -25,6 +26,8 @@ from pathlib import Path
 from repro.generators.registry import get_spec
 from repro.store.codec import ArtifactDecodeError, decode_pools, encode_pools
 from repro.store.fingerprint import spec_fingerprint
+
+_log = logging.getLogger("repro.store.artifacts")
 
 #: Environment override for the default store root; set to ``off`` (or
 #: ``0`` / ``none``) to disable on-disk caching entirely.
@@ -78,9 +81,11 @@ class ArtifactStore:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
             pools = decode_pools(payload)
-        except (OSError, ValueError, ArtifactDecodeError):
+        except (OSError, ValueError, ArtifactDecodeError) as exc:
             # Corrupted / truncated / stale-schema artifact: drop it and
             # report a miss so the caller rebuilds.
+            _log.warning("artifact-corrupt recovered path=%s error=%s",
+                         path, type(exc).__name__)
             self.stats.invalid += 1
             self.stats.misses += 1
             try:

@@ -32,6 +32,7 @@ from functools import lru_cache
 
 from repro.generators.registry import (TAXONOMY_KEYS, build_taxonomy,
                                        get_spec)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.questions.generation import generate_level_questions
 from repro.questions.pools import TaxonomyPools, generate_pools
 from repro.store.artifacts import ArtifactStore, default_store
@@ -59,25 +60,34 @@ def _chunk_build(task: tuple) -> dict:
 
     ``levels is None`` means every level (a whole-taxonomy chunk);
     ``with_taxonomy`` marks the one chunk per taxonomy that also
-    carries the encoded taxonomy column back to the driver.
+    carries the encoded taxonomy column back to the driver.  When
+    ``trace`` is set the worker records ``taxonomy``/``encode`` spans
+    on a process-local :class:`Tracer` and ships them home serialized
+    (``chunk["spans"]``) for the driver to adopt — spans use wall-clock
+    time, so worker timestamps line up with the driver's.
     """
-    key, levels, with_taxonomy, sample_size, seed = task
-    taxonomy, column, index, by_name = _worker_columns(key)
+    key, levels, with_taxonomy, sample_size, seed, trace = task
+    tracer = Tracer() if trace else NULL_TRACER
+    with tracer.span("taxonomy", taxonomy=key):
+        taxonomy, column, index, by_name = _worker_columns(key)
     if levels is None:
-        levels = range(1, taxonomy.num_levels)
-    entries = [
-        encode_level(
-            generate_level_questions(key, taxonomy, level,
-                                     sample_size=sample_size, seed=seed),
-            index, by_name, column["names"])
-        for level in levels if 1 <= level < taxonomy.num_levels
-    ]
+        levels = tuple(range(1, taxonomy.num_levels))
+    with tracer.span("encode", taxonomy=key, levels=len(levels)):
+        entries = [
+            encode_level(
+                generate_level_questions(key, taxonomy, level,
+                                         sample_size=sample_size,
+                                         seed=seed),
+                index, by_name, column["names"])
+            for level in levels if 1 <= level < taxonomy.num_levels
+        ]
     return {"taxonomy_key": key, "levels": entries,
-            "taxonomy": column if with_taxonomy else None}
+            "taxonomy": column if with_taxonomy else None,
+            "spans": [span.to_dict() for span in tracer.spans()]}
 
 
 def _plan_chunks(missing: list[str], sample_size: int | None,
-                 seed: str) -> list[tuple]:
+                 seed: str, trace: bool = False) -> list[tuple]:
     """Chunk ``missing`` into worker tasks, costliest first.
 
     Ordering matters: the executor hands tasks out one at a time, so
@@ -92,13 +102,14 @@ def _plan_chunks(missing: list[str], sample_size: int | None,
             # The deepest level holds most of the entities; everything
             # above it (plus the taxonomy column) is the cheaper chunk.
             tasks.append((spec.num_entities,
-                          (key, (deepest,), False, sample_size, seed)))
+                          (key, (deepest,), False, sample_size, seed,
+                           trace)))
             tasks.append((spec.num_entities // 2,
                           (key, tuple(range(1, deepest)), True,
-                           sample_size, seed)))
+                           sample_size, seed, trace)))
         else:
             tasks.append((spec.num_entities,
-                          (key, None, True, sample_size, seed)))
+                          (key, None, True, sample_size, seed, trace)))
     tasks.sort(key=lambda pair: pair[0], reverse=True)
     return [task for _, task in tasks]
 
@@ -134,7 +145,9 @@ def build_all_datasets(keys: tuple[str, ...] | list[str] | None = None,
                        seed: str = "",
                        jobs: int | None = None,
                        store: ArtifactStore | bool | None = True,
-                       force: bool = False) -> dict[str, TaxonomyPools]:
+                       force: bool = False,
+                       tracer: "Tracer | NullTracer | None" = None
+                       ) -> dict[str, TaxonomyPools]:
     """Build (or load) every taxonomy's pools, fanning out over processes.
 
     Args:
@@ -147,11 +160,16 @@ def build_all_datasets(keys: tuple[str, ...] | list[str] | None = None,
         store: ``True`` = default on-disk store, ``False``/``None`` =
             no persistence, or an explicit :class:`ArtifactStore`.
         force: Rebuild even when a warm artifact exists.
+        tracer: Span recorder; the build emits ``build -> taxonomy ->
+            encode/write`` spans (worker-process spans are adopted
+            into the driver's tracer).  ``None`` records nothing.
 
     Returns:
         ``{key: TaxonomyPools}`` with warm loads served from disk and
         only the missing (or forced) taxonomies generated.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     if keys is None:
         keys = TAXONOMY_KEYS
     keys = [get_spec(key).key for key in keys]
@@ -160,38 +178,55 @@ def build_all_datasets(keys: tuple[str, ...] | list[str] | None = None,
     elif store is False:
         store = None
 
-    results: dict[str, TaxonomyPools] = {}
-    missing: list[str] = []
-    for key in keys:
-        cached = None
-        if store is not None and not force:
-            cached = store.load(key, sample_size, seed)
-        if cached is not None:
-            results[key] = cached
-        else:
-            missing.append(key)
+    with tracer.span("build", taxonomies=len(keys)) as build_span:
+        results: dict[str, TaxonomyPools] = {}
+        missing: list[str] = []
+        for key in keys:
+            cached = None
+            if store is not None and not force:
+                with tracer.span("load", taxonomy=key) as load_span:
+                    cached = store.load(key, sample_size, seed)
+                    load_span.set(hit=cached is not None)
+            if cached is not None:
+                results[key] = cached
+            else:
+                missing.append(key)
 
-    if missing:
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-        jobs = max(1, min(jobs, len(missing)))
-        if jobs == 1:
-            payloads = [
-                encode_pools(
-                    generate_pools(key, sample_size=sample_size,
-                                   seed=seed),
-                    spec_fingerprint(get_spec(key), sample_size, seed),
-                    sample_size, seed)
-                for key in missing]
-        else:
-            tasks = _plan_chunks(missing, sample_size, seed)
-            with ProcessPoolExecutor(max_workers=jobs) as executor:
-                chunks = list(executor.map(_chunk_build, tasks))
-            payloads = _assemble(missing, chunks, sample_size, seed)
-        for payload in payloads:
-            if store is not None:
-                store.stats.builds += 1
-                store.save_payload(payload)
-            results[payload["taxonomy_key"]] = decode_pools(payload)
+        if missing:
+            if jobs is None:
+                jobs = os.cpu_count() or 1
+            jobs = max(1, min(jobs, len(missing)))
+            if jobs == 1:
+                payloads = []
+                for key in missing:
+                    with tracer.span("taxonomy", taxonomy=key):
+                        pools = generate_pools(key,
+                                               sample_size=sample_size,
+                                               seed=seed)
+                    with tracer.span("encode", taxonomy=key):
+                        payloads.append(encode_pools(
+                            pools,
+                            spec_fingerprint(get_spec(key),
+                                             sample_size, seed),
+                            sample_size, seed))
+            else:
+                tasks = _plan_chunks(missing, sample_size, seed,
+                                     trace=tracer.enabled)
+                with ProcessPoolExecutor(max_workers=jobs) as executor:
+                    chunks = list(executor.map(_chunk_build, tasks))
+                for chunk in chunks:
+                    tracer.adopt(chunk.pop("spans", []),
+                                 parent=build_span.span_id)
+                payloads = _assemble(missing, chunks, sample_size,
+                                     seed)
+            for payload in payloads:
+                if store is not None:
+                    store.stats.builds += 1
+                    with tracer.span(
+                            "write",
+                            taxonomy=payload["taxonomy_key"]):
+                        store.save_payload(payload)
+                results[payload["taxonomy_key"]] = \
+                    decode_pools(payload)
 
     return {key: results[key] for key in keys}
