@@ -1,0 +1,151 @@
+"""Bench WATCH — follower overhead gate (run alone vs. run + watch).
+
+Executes the identical ledgered sweep — a sleep-backed model standing
+in for a network endpoint, streaming into the run ledger — twice:
+once undisturbed, and once with a :class:`repro.obs.LedgerFollower`
+polling the run's ledger and span log from another thread at watch
+cadence.  The follower is strictly read-only (its only cost to the
+run is filesystem read pressure), and the gate asserts that cost is
+at most 5% extra wall time plus a small absolute floor.  The watched
+variant also asserts the follower's final snapshot converged to the
+post-hoc ledger state — the live dashboard must never disagree with
+``load_run``.
+
+Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
+
+    PYTHONPATH=src python benchmarks/bench_watch_overhead.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.obs import LedgerFollower
+from repro.runs import RunRegistry, RunRequest, create_run, \
+    execute_run
+
+#: Maximum allowed slowdown of a watched run vs. an unwatched one.
+OVERHEAD_BUDGET = 0.05
+#: Absolute slack (seconds) so short smoke runs tolerate OS jitter.
+ABSOLUTE_SLACK_S = 0.015
+#: Seconds between follower polls — the `repro watch` default is 1 s;
+#: the bench polls far harder to make the gate conservative.
+POLL_INTERVAL_S = 0.02
+
+
+class _SleepingModel(BaseChatModel):
+    """GPT-4 answers behind a fixed GIL-releasing sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+def _run_once(request: RunRequest, registry: RunRegistry,
+              latency_s: float, follow: bool) -> float:
+    def resolve(_name: str):
+        return _SleepingModel(latency_s)
+
+    run_id = create_run(request, registry=registry)
+    stop = threading.Event()
+    follower = polls = thread = None
+    if follow:
+        follower = LedgerFollower(run_id, registry=registry)
+        polls = [0]
+
+        def poll_loop():
+            while not stop.is_set():
+                follower.poll()
+                polls[0] += 1
+                time.sleep(POLL_INTERVAL_S)
+
+        thread = threading.Thread(target=poll_loop, daemon=True)
+        thread.start()
+    started = time.perf_counter()
+    result = execute_run(request, registry=registry, run_id=run_id,
+                         resolve_model=resolve)
+    elapsed = time.perf_counter() - started
+    if follow:
+        stop.set()
+        thread.join()
+        final = follower.poll()
+        expected = sum(cell.metrics.n
+                       for cell in result.cells.values())
+        assert final.finished and final.status == "finished", \
+            "follower snapshot did not converge to finished"
+        assert final.questions_done == expected, (
+            f"follower saw {final.questions_done} questions, "
+            f"ledger holds {expected}")
+        assert polls[0] > 0
+    return elapsed
+
+
+def _measure(sample_size: int = 12, latency_s: float = 0.002,
+             repeats: int = 3) -> dict[str, object]:
+    """Best-of-N wall time for the unwatched and watched variants."""
+    request = RunRequest(models=("GPT-4",), taxonomy_keys=("ebay",),
+                         sample_size=sample_size, workers=4)
+    with tempfile.TemporaryDirectory() as root:
+        registry = RunRegistry(root)
+        # Warm the oracle's lazy indexes outside the measurement.
+        _run_once(request, registry, 0.0, follow=False)
+        alone_s = min(_run_once(request, registry, latency_s,
+                                follow=False)
+                      for _ in range(repeats))
+        watched_s = min(_run_once(request, registry, latency_s,
+                                  follow=True)
+                        for _ in range(repeats))
+    return {
+        "alone_s": alone_s,
+        "watched_s": watched_s,
+        "overhead": watched_s / alone_s - 1.0,
+    }
+
+
+def _rows(result: dict[str, object]) -> list[dict[str, object]]:
+    return [{
+        "alone_s": f"{result['alone_s']:.4f}",
+        "watched_s": f"{result['watched_s']:.4f}",
+        "overhead": f"{result['overhead'] * 100:+.2f}%",
+        "budget": f"{OVERHEAD_BUDGET * 100:.0f}%",
+        "poll_every": f"{POLL_INTERVAL_S * 1e3:.0f}ms",
+    }]
+
+
+def _within_budget(result: dict[str, object]) -> bool:
+    excess = float(result["watched_s"]) - float(result["alone_s"])
+    return (excess
+            <= float(result["alone_s"]) * OVERHEAD_BUDGET
+            + ABSOLUTE_SLACK_S)
+
+
+def test_watch_overhead(benchmark, report):
+    result = once(benchmark, _measure)
+    assert _within_budget(result), (
+        f"follower overhead {result['overhead'] * 100:.2f}% exceeds "
+        f"the {OVERHEAD_BUDGET * 100:.0f}% budget "
+        f"(alone {result['alone_s']:.4f}s, "
+        f"watched {result['watched_s']:.4f}s)")
+    report(format_rows(_rows(result),
+                       title="Live-follower overhead (2 ms simulated "
+                             "latency, 4 workers)"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    outcome = _measure(sample_size=6, latency_s=0.002, repeats=2)
+    print(format_rows(_rows(outcome),
+                      title="Live-follower overhead smoke"))
+    if not _within_budget(outcome):
+        raise SystemExit("follower overhead exceeds budget")

@@ -21,4 +21,20 @@ python benchmarks/bench_run_ledger.py --smoke
 echo "== tracing overhead smoke =="
 python benchmarks/bench_obs_overhead.py
 
+echo "== live-follower overhead smoke =="
+python benchmarks/bench_watch_overhead.py
+
+echo "== regression gate (obs check vs committed baseline) =="
+GATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$GATE_DIR"' EXIT
+REPRO_RUNS_DIR="$GATE_DIR" python -m repro run \
+    --models GPT-4 LLMs4OL --taxonomies ebay --sample 24 > /dev/null
+# Accuracy is deterministic (seeded pools, simulated models), so the
+# gate is tight on it; throughput/p99 are machine-dependent, so those
+# thresholds only catch order-of-magnitude blowups.
+REPRO_RUNS_DIR="$GATE_DIR" python -m repro obs check \
+    --baseline-file benchmarks/baselines/obs_check_baseline.json \
+    --max-accuracy-drop 0.5 --max-throughput-drop 95 \
+    --max-p99-blowup 10000
+
 echo "check.sh: all green"

@@ -18,9 +18,13 @@
     python -m repro runs show <run-id>
     python -m repro runs resume <run-id> --workers 8
     python -m repro runs diff <run-id-a> <run-id-b>
+    python -m repro watch <run-id> --once --json
     python -m repro obs trace <run-id> --out trace.json
     python -m repro obs metrics <run-id>
     python -m repro obs report <run-id>
+    python -m repro obs history --last 10
+    python -m repro obs check --baseline <run-id> \\
+        --max-accuracy-drop 1.0
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
@@ -58,9 +62,12 @@ from repro.experiments.statistics import table1_rows
 from repro.hybrid.case_study import CaseStudyConfig, run_case_study
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
-from repro.obs import (chrome_trace, configure_logging, flame_report,
-                       format_prometheus, phase_table,
-                       read_spans_jsonl, registry_from_spans)
+from repro.obs import (LedgerFollower, Thresholds, check_entries,
+                       chrome_trace, configure_logging, flame_report,
+                       format_prometheus, latest_for, load_entry,
+                       phase_table, read_history, read_spans_jsonl,
+                       registry_from_spans, render_dashboard,
+                       watch_run, write_entry)
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 from repro.runs import (RunRegistry, RunRequest, diff_runs,
@@ -196,6 +203,10 @@ def _parser() -> argparse.ArgumentParser:
     runs_show.add_argument("run_id")
     runs_show.add_argument("--json", action="store_true",
                            help="machine-readable output")
+    runs_show.add_argument("--follow", action="store_true",
+                           help="live dashboard instead of the "
+                                "static report (alias of `repro "
+                                "watch`)")
     _add_runs_dir(runs_show)
 
     runs_resume = runs_commands.add_parser(
@@ -212,6 +223,24 @@ def _parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("--json", action="store_true",
                            help="machine-readable output")
     _add_runs_dir(runs_diff)
+
+    watch = commands.add_parser(
+        "watch", help="live dashboard over a (possibly still "
+                      "running) run's ledger")
+    watch.add_argument("run_id")
+    watch.add_argument("--once", action="store_true",
+                       help="print a single frame and exit")
+    watch.add_argument("--json", action="store_true",
+                       help="machine-readable snapshot(s)")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="seconds between ledger polls")
+    watch.add_argument("--stall-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="flag the run stalled when neither "
+                            "ledger nor heartbeat advances for this "
+                            "long (default 30)")
+    _add_runs_dir(watch)
 
     obs = commands.add_parser(
         "obs", help="export and inspect a run's span log")
@@ -239,6 +268,54 @@ def _parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--width", type=int, default=32,
                             help="flamegraph bar width in characters")
     _add_runs_dir(obs_report)
+
+    obs_history = obs_commands.add_parser(
+        "history", help="cross-run metric time series "
+                        "(history.jsonl)")
+    obs_history.add_argument("--last", type=int, default=None,
+                             metavar="N",
+                             help="only the newest N entries")
+    obs_history.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    _add_runs_dir(obs_history)
+
+    defaults = Thresholds()
+    obs_check = obs_commands.add_parser(
+        "check", help="regression gate: a history entry vs a "
+                      "baseline, non-zero exit on violation")
+    obs_check.add_argument("--baseline", default=None,
+                           metavar="RUN_ID",
+                           help="baseline = newest history entry of "
+                                "this run")
+    obs_check.add_argument("--baseline-file", default=None,
+                           metavar="PATH",
+                           help="baseline = a standalone entry JSON "
+                                "(the committed CI baseline)")
+    obs_check.add_argument("--run", default=None, metavar="RUN_ID",
+                           help="candidate run (default: newest "
+                                "history entry)")
+    obs_check.add_argument("--max-accuracy-drop", type=float,
+                           default=defaults.accuracy_drop_pts,
+                           metavar="PTS",
+                           help="tolerated accuracy drop in points, "
+                                "overall and per cell")
+    obs_check.add_argument("--max-throughput-drop", type=float,
+                           default=defaults.throughput_drop_pct,
+                           metavar="PCT",
+                           help="tolerated throughput drop, percent "
+                                "of baseline")
+    obs_check.add_argument("--max-p99-blowup", type=float,
+                           default=defaults.p99_blowup_pct,
+                           metavar="PCT",
+                           help="tolerated p99 latency increase, "
+                                "percent of baseline")
+    obs_check.add_argument("--write-baseline", default=None,
+                           metavar="PATH",
+                           help="write the candidate entry to PATH "
+                                "as a baseline file and exit")
+    obs_check.add_argument("--json", action="store_true",
+                           help="machine-readable report")
+    _add_runs_dir(obs_check)
     return parser
 
 
@@ -508,8 +585,43 @@ def _cmd_runs_list(args: argparse.Namespace) -> str:
                        title="Ledgered runs")
 
 
+def _watch(registry: RunRegistry, run_id: str, once: bool = False,
+           as_json: bool = False, interval_s: float = 1.0,
+           stall_after: float | None = None) -> str:
+    """Shared body of ``repro watch`` and ``runs show --follow``."""
+    if once:
+        progress = LedgerFollower(
+            run_id, registry=registry,
+            stall_deadline_s=stall_after).poll()
+        if as_json:
+            return json.dumps(progress.to_dict(), indent=1)
+        return render_dashboard(progress)
+    render = ((lambda progress: json.dumps(progress.to_dict()))
+              if as_json else render_dashboard)
+    emit = print if as_json else None    # default: ANSI in-place
+    try:
+        progress = watch_run(run_id, registry=registry,
+                             interval_s=interval_s,
+                             stall_deadline_s=stall_after,
+                             render=render, emit=emit)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return f"\nstopped watching {run_id}"
+    return (f"run {run_id} finished: accuracy "
+            f"{progress.accuracy:.3f}, "
+            f"{progress.questions_done} questions in "
+            f"{progress.elapsed_s:.1f}s")
+
+
+def _cmd_watch(args: argparse.Namespace) -> str:
+    return _watch(_registry(args), args.run_id, once=args.once,
+                  as_json=args.json, interval_s=args.interval,
+                  stall_after=args.stall_after)
+
+
 def _cmd_runs_show(args: argparse.Namespace) -> str:
     registry = _registry(args)
+    if args.follow:
+        return _watch(registry, args.run_id, as_json=args.json)
     manifest = registry.manifest(args.run_id)
     state = registry.state(args.run_id)
     cell_rows = []
@@ -626,10 +738,66 @@ def _cmd_obs_report(args: argparse.Namespace) -> str:
             + flame_report(spans, width=max(8, args.width)))
 
 
+def _cmd_obs_history(args: argparse.Namespace) -> str:
+    entries = read_history(_registry(args))
+    if args.last is not None and args.last >= 0:
+        entries = entries[-args.last:] if args.last else []
+    if args.json:
+        return json.dumps([entry.to_dict() for entry in entries],
+                          indent=1)
+    if not entries:
+        return "no history entries"
+    return format_rows([entry.as_row() for entry in entries],
+                       title="Run history (oldest first)")
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> "str | tuple[str, int]":
+    registry = _registry(args)
+    entries = read_history(registry)
+    candidate = latest_for(entries, run_id=args.run)
+    if candidate is None:
+        wanted = f" for run {args.run}" if args.run else ""
+        raise RunError(f"no history entry{wanted} in "
+                       f"{registry.history_path()} — execute a run "
+                       f"first")
+    if args.write_baseline:
+        path = write_entry(candidate, args.write_baseline)
+        return (f"wrote baseline {path} "
+                f"(run {candidate.run_id}, "
+                f"accuracy {candidate.accuracy:.3f})")
+    if args.baseline_file:
+        baseline = load_entry(args.baseline_file)
+    elif args.baseline:
+        baseline = latest_for(entries, run_id=args.baseline)
+        if baseline is None:
+            raise RunError(f"no history entry for baseline run "
+                           f"{args.baseline}")
+    else:
+        raise RunError("pass --baseline <run-id> or "
+                       "--baseline-file PATH")
+    report = check_entries(baseline, candidate, Thresholds(
+        accuracy_drop_pts=args.max_accuracy_drop,
+        throughput_drop_pct=args.max_throughput_drop,
+        p99_blowup_pct=args.max_p99_blowup))
+    code = 0 if report.passed else 1
+    if args.json:
+        return json.dumps(report.to_dict(), indent=1), code
+    table = format_rows(
+        report.rows(),
+        title=(f"Regression gate: {report.candidate_id} vs "
+               f"baseline {report.baseline_id}"))
+    verdict = ("PASS" if report.passed
+               else f"FAIL: {len(report.failures)} check(s) over "
+                    f"the limit")
+    return table + "\n" + verdict, code
+
+
 _OBS_COMMANDS = {
     "trace": _cmd_obs_trace,
     "metrics": _cmd_obs_metrics,
     "report": _cmd_obs_report,
+    "history": _cmd_obs_history,
+    "check": _cmd_obs_check,
 }
 
 
@@ -657,6 +825,7 @@ _COMMANDS = {
     "engine-stats": _cmd_engine_stats,
     "run": _cmd_run,
     "runs": _cmd_runs,
+    "watch": _cmd_watch,
     "obs": _cmd_obs,
 }
 
@@ -665,10 +834,14 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     configure_logging(-1 if args.quiet else args.verbose)
     try:
-        print(_COMMANDS[args.command](args))
+        output = _COMMANDS[args.command](args)
+        # Gate commands (`obs check`) return (text, exit_code).
+        output, code = (output if isinstance(output, tuple)
+                        else (output, 0))
+        print(output)
     except BrokenPipeError:      # e.g. `repro obs metrics ... | head`
         return 0
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,15 @@ from repro.obs.export import (JsonlSpanSink, chrome_trace,
                               format_prometheus, read_spans_jsonl,
                               registry_from_spans, span_tree,
                               write_spans_jsonl)
+from repro.obs.history import (CheckResult, HistoryEntry,
+                               RegressionReport, Thresholds,
+                               append_entry, check_entries,
+                               entry_from_result, latest_for,
+                               load_entry, read_history, write_entry)
+from repro.obs.jsonl import (JsonlBatch, JsonlCorruptError, JsonlTail,
+                             iter_jsonl)
+from repro.obs.live import (CellProgress, LedgerFollower, RunProgress,
+                            render_dashboard, watch_run)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
                                Histogram, MetricsRegistry,
@@ -42,27 +51,47 @@ from repro.obs.report import (flame_report, phase_chart, phase_rows,
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer)
 
 __all__ = [
+    "CellProgress",
+    "CheckResult",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "HistoryEntry",
+    "JsonlBatch",
+    "JsonlCorruptError",
     "JsonlSpanSink",
+    "JsonlTail",
+    "LedgerFollower",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RegressionReport",
+    "RunProgress",
     "Span",
+    "Thresholds",
     "Tracer",
+    "append_entry",
+    "check_entries",
     "chrome_trace",
     "configure_logging",
+    "entry_from_result",
     "flame_report",
     "format_prometheus",
     "get_logger",
     "global_registry",
+    "iter_jsonl",
+    "latest_for",
+    "load_entry",
     "phase_chart",
     "phase_rows",
     "phase_table",
+    "read_history",
     "read_spans_jsonl",
     "registry_from_spans",
+    "render_dashboard",
     "span_tree",
+    "watch_run",
+    "write_entry",
     "write_spans_jsonl",
 ]

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 from pathlib import Path
 
+from repro.obs.jsonl import JsonlCorruptError, iter_jsonl
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span
 
@@ -91,22 +93,27 @@ def write_spans_jsonl(spans, path: str | Path,
 def read_spans_jsonl(path: str | Path) -> tuple[Span, ...]:
     """Load a span log; a torn final line (crash signature) is dropped
     with one log line, corruption anywhere else raises."""
-    raw_lines = Path(path).read_text(encoding="utf-8").splitlines()
+    try:
+        batch = iter_jsonl(path)
+    except JsonlCorruptError as exc:
+        raise ValueError(
+            f"corrupt span log {exc.path} at line "
+            f"{exc.line_number}: {exc.reason}") from exc
+    if batch.torn:
+        _log.warning("torn-span-line dropped path=%s line=%d", path,
+                     batch.torn_line)
     spans: list[Span] = []
-    last = len(raw_lines) - 1
-    for number, line in enumerate(raw_lines):
-        if not line.strip():
-            continue
+    last = len(batch.records) - 1
+    for index, (number, payload) in enumerate(batch.records):
         try:
-            spans.append(Span.from_dict(json.loads(line)))
+            spans.append(Span.from_dict(payload))
         except (ValueError, KeyError, TypeError) as exc:
-            if number == last:
-                _log.warning(
-                    "torn-span-line dropped path=%s line=%d", path,
-                    number + 1)
+            if index == last and not batch.torn:
+                _log.warning("torn-span-line dropped path=%s "
+                             "line=%d", path, number)
                 break
             raise ValueError(
-                f"corrupt span log {path} at line {number + 1}: "
+                f"corrupt span log {path} at line {number}: "
                 f"{exc!r}") from exc
     return tuple(spans)
 
@@ -156,7 +163,15 @@ def span_tree(spans) -> dict[int | None, list[Span]]:
 # Prometheus text format
 # ----------------------------------------------------------------------
 def format_prometheus(registry: MetricsRegistry) -> str:
-    """Text-format dump of every metric in ``registry``."""
+    """Text-format dump of every metric in ``registry``.
+
+    Histograms render as the standard ``_bucket``/``_sum``/``_count``
+    family; the exact extremes are emitted as sibling ``{name}_min`` /
+    ``{name}_max`` *gauge* families (their own ``# TYPE`` lines — bare
+    suffixes on a histogram family are rejected by strict parsers).
+    Non-finite values use the Prometheus spellings ``+Inf``/``-Inf``/
+    ``NaN``, never Python's ``inf``.
+    """
     lines: list[str] = []
     for name, metric in sorted(registry.metrics().items()):
         if metric.help:
@@ -174,16 +189,23 @@ def format_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
         lines.append(f"{name}_sum {_num(metric.total)}")
         lines.append(f"{name}_count {metric.count}")
-        lines.append(f"{name}_min {_num(metric.min)}")
-        lines.append(f"{name}_max {_num(metric.max)}")
+        for suffix, value in (("min", metric.min), ("max", metric.max)):
+            lines.append(f"# TYPE {name}_{suffix} gauge")
+            lines.append(f"{name}_{suffix} {_num(value)}")
     return "\n".join(lines) + "\n"
 
 
 def _num(value: float) -> str:
-    """Render without a trailing ``.0`` on integral values."""
-    if float(value).is_integer():
+    """Prometheus-legal number: ``+Inf``/``-Inf``/``NaN`` for the
+    non-finite values, no trailing ``.0`` on integral ones."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,402 @@
+"""Live run monitoring: tail a running run's ledger into a snapshot.
+
+``repro.runs`` gave the stack durable *post-hoc* observability — a
+finished (or crashed) run replays from disk.  This module closes the
+remaining gap: watching a run *while it executes*.  The
+:class:`LedgerFollower` incrementally tails the run's ``ledger.jsonl``
+and ``spans.jsonl`` through the shared offset-aware
+:func:`repro.obs.jsonl.iter_jsonl` (so each poll reads only the bytes
+appended since the last one, and a torn in-flight append is simply
+retried), folds the events through the same ``_apply`` the replayer
+uses (the snapshot therefore *converges to exactly the post-hoc
+``load_run`` state*), and augments them with the heartbeat
+``execute_run``/``resume_run`` keep fresh:
+
+* per-cell progress and accuracy-so-far;
+* throughput and an ETA from the span-derived per-question latency
+  histogram (falling back to observed throughput when tracing is
+  off);
+* retry / fault counts streamed out of the span log;
+* a stall watchdog: a run whose ledger, span log and heartbeat have
+  all sat still past the deadline is flagged ``stalled``.
+
+``repro watch <run-id>`` renders the snapshot as an in-place ASCII
+dashboard (``--once`` for a single frame, ``--json`` for machines).
+The follower never locks or writes anything in the run directory, so
+its cost to the run is only filesystem read pressure — the
+``bench_watch_overhead`` benchmark gates it at <=5% added wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import LedgerCorruptError
+from repro.obs.jsonl import JsonlTail
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.obs.tracer import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.runs.registry import RunRegistry
+
+#: Width of the dashboard's per-cell progress bars.
+BAR_WIDTH = 24
+
+
+@dataclass(slots=True)
+class CellProgress:
+    """One sweep cell as the follower currently sees it."""
+
+    cell_id: str
+    expected: int
+    done: int
+    correct: int
+    complete: bool
+
+    @property
+    def fraction(self) -> float:
+        if self.expected <= 0:
+            return 1.0 if self.complete else 0.0
+        return min(1.0, self.done / self.expected)
+
+    @property
+    def accuracy(self) -> float:
+        """Accuracy over the questions recorded *so far*."""
+        if self.done == 0:
+            return 0.0
+        return self.correct / self.done
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "cell": self.cell_id,
+            "expected": self.expected,
+            "done": self.done,
+            "correct": self.correct,
+            "accuracy": self.accuracy,
+            "complete": self.complete,
+        }
+
+
+@dataclass(slots=True)
+class RunProgress:
+    """One follower snapshot of a (possibly still running) run."""
+
+    run_id: str
+    status: str                       # running | stalled | finished
+    attempts: int
+    finished: bool
+    cells_planned: int
+    cells_started: int
+    cells_done: int
+    questions_done: int
+    questions_planned: int            # estimated for unstarted cells
+    correct: int
+    retries: int
+    faults: int
+    spans: int
+    elapsed_s: float
+    throughput: float                 # questions / wall second so far
+    eta_s: float | None               # None once finished / no basis
+    latency_p50_s: float
+    latency_p99_s: float
+    heartbeat_age_s: float | None     # None when no heartbeat exists
+    progress_age_s: float | None      # since the ledger last advanced
+    stall_deadline_s: float
+    cells: list[CellProgress] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        """Accuracy over every question recorded so far."""
+        if self.questions_done == 0:
+            return 0.0
+        return self.correct / self.questions_done
+
+    @property
+    def fraction(self) -> float:
+        if self.questions_planned <= 0:
+            return 1.0 if self.finished else 0.0
+        return min(1.0, self.questions_done / self.questions_planned)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "finished": self.finished,
+            "cells_planned": self.cells_planned,
+            "cells_started": self.cells_started,
+            "cells_done": self.cells_done,
+            "questions_done": self.questions_done,
+            "questions_planned": self.questions_planned,
+            "correct": self.correct,
+            "accuracy": self.accuracy,
+            "retries": self.retries,
+            "faults": self.faults,
+            "spans": self.spans,
+            "elapsed_s": self.elapsed_s,
+            "throughput": self.throughput,
+            "eta_s": self.eta_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "heartbeat_age_s": self.heartbeat_age_s,
+            "progress_age_s": self.progress_age_s,
+            "stall_deadline_s": self.stall_deadline_s,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+class LedgerFollower:
+    """Incremental tail over one run's ledger + span log.
+
+    Construct once, call :meth:`poll` repeatedly: each poll consumes
+    only the bytes appended since the last one (stateful offsets per
+    file) and returns a fresh :class:`RunProgress`.  Events fold
+    through the replayer's own ``_apply``, so after the writer stops
+    the snapshot is exactly what ``replay_ledger``/``load_run`` would
+    reconstruct — the concurrent-follow tests assert that
+    convergence.  The follower is strictly read-only.
+    """
+
+    def __init__(self, run_id: str,
+                 registry: "RunRegistry | None" = None,
+                 stall_deadline_s: float | None = None,
+                 clock=time.time):
+        # Deferred: repro.runs imports repro.obs at package level, so
+        # the dependency must stay call-time-only in this direction.
+        from repro.runs.heartbeat import (DEFAULT_STALL_DEADLINE_S,
+                                          read_heartbeat)
+        from repro.runs.ledger import RunState, _apply
+        from repro.runs.registry import RunRegistry
+        self.registry = (registry if registry is not None
+                         else RunRegistry())
+        self.run_id = run_id
+        self.stall_deadline_s = (DEFAULT_STALL_DEADLINE_S
+                                 if stall_deadline_s is None
+                                 else stall_deadline_s)
+        self._apply = _apply
+        self._read_heartbeat = read_heartbeat
+        self._clock = clock
+        manifest = self.registry.manifest(run_id)  # raises if unknown
+        self._cells_planned = int(manifest.get("cells", 0))
+        request = manifest.get("request", {})
+        self._workers = max(1, int(request.get("workers", 1)))
+        self._created_at = float(manifest.get("created_at", 0.0))
+        self._ledger = JsonlTail(self.registry.ledger_path(run_id))
+        self._spans = JsonlTail(self.registry.spans_path(run_id))
+        self.state = RunState(run_id=run_id)
+        self._started_ts: float | None = None
+        self._finished_ts: float | None = None
+        self._latency = Histogram("question_latency_s",
+                                  bounds=DEFAULT_BUCKETS)
+        self._retries = 0
+        self._faults = 0
+        self._span_count = 0
+
+    # ------------------------------------------------------------------
+    def _ingest_ledger(self) -> None:
+        for payload in self._ledger.poll():
+            kind = payload.get("event")
+            if kind == "run-started" and self._started_ts is None:
+                self._started_ts = float(payload.get("ts") or 0.0)
+            elif kind == "run-finished":
+                self._finished_ts = float(payload.get("ts") or 0.0)
+            try:
+                self._apply(self.state, payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise LedgerCorruptError(
+                    str(self._ledger.path), self._ledger.next_line,
+                    repr(exc)) from exc
+            self.state.events += 1
+
+    def _ingest_spans(self) -> None:
+        for payload in self._spans.poll():
+            try:
+                span = Span.from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                continue            # foreign span shape: skip, don't die
+            self._span_count += 1
+            if span.end_s is None:
+                continue
+            if span.name == "question":
+                self._latency.observe(span.duration_s)
+            elif span.name == "retry":
+                self._retries += 1
+                if span.attrs.get("fault"):
+                    self._faults += 1
+
+    # ------------------------------------------------------------------
+    def poll(self) -> RunProgress:
+        """Consume everything appended since the last poll and
+        snapshot the run."""
+        self._ingest_ledger()
+        self._ingest_spans()
+        now = self._clock()
+
+        cells: list[CellProgress] = []
+        questions_done = 0
+        correct = 0
+        expected_started = 0
+        for cell_id, cell_state in self.state.cells.items():
+            done = len(cell_state.records)
+            cell_correct = sum(
+                1 for record in cell_state.records.values()
+                if record.correct)
+            cells.append(CellProgress(
+                cell_id=cell_id, expected=cell_state.expected_n,
+                done=done, correct=cell_correct,
+                complete=cell_state.complete))
+            questions_done += done
+            correct += cell_correct
+            expected_started += cell_state.expected_n
+
+        cells_started = len(cells)
+        cells_done = sum(1 for cell in cells if cell.complete)
+        # Unstarted cells are estimated at the mean size of the
+        # started ones — the planner's cells are near-uniform.
+        remaining_cells = max(0, self._cells_planned - cells_started)
+        mean_expected = (expected_started / cells_started
+                         if cells_started else 0)
+        questions_planned = int(round(
+            expected_started + remaining_cells * mean_expected))
+
+        started = self._started_ts or self._created_at or now
+        end = self._finished_ts if self.state.finished else now
+        elapsed = max(0.0, (end or now) - started)
+        throughput = (questions_done / elapsed if elapsed > 0 else 0.0)
+
+        eta: float | None = None
+        if not self.state.finished:
+            remaining = max(0, questions_planned - questions_done)
+            if self._latency.count > 0:
+                eta = (remaining * self._latency.mean
+                       / self._workers)
+            elif throughput > 0:
+                eta = remaining / throughput
+
+        heartbeat = self._read_heartbeat(
+            self.registry.heartbeat_path(self.run_id))
+        heartbeat_age = (now - float(heartbeat["ts"])
+                         if heartbeat else None)
+        progress_ts = self.registry.progress_ts(self.run_id)
+        progress_age = (now - progress_ts
+                        if progress_ts is not None else None)
+
+        if self.state.finished:
+            status = "finished"
+        else:
+            # Stalled only when *neither* the ledger nor the
+            # heartbeat advances within the deadline.  No pid check
+            # here: the watcher may not share a host with the run.
+            ages = [age for age in (heartbeat_age, progress_age)
+                    if age is not None]
+            fresh = min(ages) if ages else now - started
+            status = ("stalled" if fresh > self.stall_deadline_s
+                      else "running")
+
+        return RunProgress(
+            run_id=self.run_id, status=status,
+            attempts=self.state.attempts,
+            finished=self.state.finished,
+            cells_planned=self._cells_planned,
+            cells_started=cells_started, cells_done=cells_done,
+            questions_done=questions_done,
+            questions_planned=questions_planned, correct=correct,
+            retries=self._retries, faults=self._faults,
+            spans=self._span_count, elapsed_s=elapsed,
+            throughput=throughput, eta_s=eta,
+            latency_p50_s=self._latency.quantile(0.50),
+            latency_p99_s=self._latency.quantile(0.99),
+            heartbeat_age_s=heartbeat_age,
+            progress_age_s=progress_age,
+            stall_deadline_s=self.stall_deadline_s,
+            cells=sorted(cells, key=lambda cell: cell.cell_id))
+
+
+# ----------------------------------------------------------------------
+# ASCII dashboard
+# ----------------------------------------------------------------------
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    filled = int(round(min(1.0, max(0.0, fraction)) * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _age(seconds: float | None) -> str:
+    if seconds is None:
+        return "never"
+    return f"{seconds:.1f}s ago"
+
+
+def _eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_dashboard(progress: RunProgress) -> str:
+    """The ``repro watch`` frame: header, totals, per-cell bars."""
+    lines = [
+        (f"run {progress.run_id} [{progress.status}] "
+         f"attempt {max(1, progress.attempts)} — "
+         f"{progress.cells_done}/{progress.cells_planned} cells, "
+         f"{progress.questions_done}/{progress.questions_planned} "
+         f"questions ({progress.fraction * 100:.1f}%)"),
+        (f"accuracy {progress.accuracy:.3f} · "
+         f"{progress.throughput:.1f} q/s · "
+         f"p50 {progress.latency_p50_s * 1e3:.1f}ms · "
+         f"p99 {progress.latency_p99_s * 1e3:.1f}ms · "
+         f"retries {progress.retries} · faults {progress.faults} · "
+         f"eta {_eta(progress.eta_s)}"),
+        (f"heartbeat {_age(progress.heartbeat_age_s)} · "
+         f"ledger {_age(progress.progress_age_s)} · "
+         f"stall deadline {progress.stall_deadline_s:.0f}s"),
+    ]
+    if progress.status == "stalled":
+        lines.append("!! stalled: neither ledger nor heartbeat "
+                     "advanced within the deadline")
+    width = max((len(cell.cell_id) for cell in progress.cells),
+                default=0)
+    for cell in progress.cells:
+        marker = ("done" if cell.complete
+                  else f"{cell.fraction * 100:3.0f}%")
+        lines.append(
+            f"{cell.cell_id.ljust(width)} {_bar(cell.fraction)} "
+            f"{cell.done}/{cell.expected} acc {cell.accuracy:.3f} "
+            f"{marker}")
+    if not progress.cells:
+        lines.append("(no cells recorded yet)")
+    return "\n".join(lines)
+
+
+def watch_run(run_id: str, registry: "RunRegistry | None" = None,
+              interval_s: float = 1.0,
+              stall_deadline_s: float | None = None,
+              clock=time.time,
+              render=render_dashboard,
+              emit=None,
+              until_finished: bool = True) -> RunProgress:
+    """Poll + render in place until the run finishes (or forever).
+
+    ``emit`` receives each rendered frame (defaults to printing with
+    an ANSI home+clear prefix so the dashboard redraws in place);
+    returns the final snapshot.
+    """
+    follower = LedgerFollower(run_id, registry=registry,
+                              stall_deadline_s=stall_deadline_s,
+                              clock=clock)
+
+    def _print(frame: str) -> None:  # pragma: no cover - terminal io
+        print("\x1b[H\x1b[2J" + frame, flush=True)
+
+    emit = emit if emit is not None else _print
+    while True:
+        progress = follower.poll()
+        emit(render(progress))
+        if until_finished and progress.finished:
+            return progress
+        time.sleep(interval_s)

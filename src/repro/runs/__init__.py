@@ -36,11 +36,15 @@ from repro.runs.diff import CellDiff, QuestionFlip, RunDiff, diff_runs
 from repro.runs.driver import (CellKey, RunResult, coerce_run,
                                create_run, execute_run, load_run,
                                plan_cells)
+from repro.runs.heartbeat import (HEARTBEAT_FILENAME, HeartbeatWriter,
+                                  pid_alive, read_heartbeat,
+                                  run_status)
 from repro.runs.ledger import (LEDGER_FILENAME, CellState, RunLedger,
                                RunState, replay_ledger)
-from repro.runs.registry import (MANIFEST_FILENAME, RUNS_ENV,
-                                 SPANS_FILENAME, RunRegistry,
-                                 RunSummary, default_runs_root)
+from repro.runs.registry import (HISTORY_FILENAME, MANIFEST_FILENAME,
+                                 RUNS_ENV, SPANS_FILENAME,
+                                 RunRegistry, RunSummary,
+                                 default_runs_root)
 from repro.runs.request import LEDGER_SCHEMA_VERSION, RunRequest
 from repro.runs.resume import resume_run
 
@@ -48,6 +52,9 @@ __all__ = [
     "CellDiff",
     "CellKey",
     "CellState",
+    "HEARTBEAT_FILENAME",
+    "HISTORY_FILENAME",
+    "HeartbeatWriter",
     "LEDGER_FILENAME",
     "LEDGER_SCHEMA_VERSION",
     "MANIFEST_FILENAME",
@@ -67,7 +74,10 @@ __all__ = [
     "diff_runs",
     "execute_run",
     "load_run",
+    "pid_alive",
     "plan_cells",
+    "read_heartbeat",
     "replay_ledger",
     "resume_run",
+    "run_status",
 ]

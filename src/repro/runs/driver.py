@@ -29,9 +29,11 @@ from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.core.metrics import Metrics
 from repro.obs.export import JsonlSpanSink
+from repro.obs.history import append_entry, entry_from_result
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.questions.model import DatasetKind, level_label
 from repro.questions.pools import QuestionPool, build_pools
+from repro.runs.heartbeat import HeartbeatWriter
 from repro.runs.ledger import RunLedger
 from repro.runs.registry import RunRegistry
 from repro.runs.request import RunRequest
@@ -227,6 +229,7 @@ def execute_run(request: RunRequest,
         tracer.sink = sink
     results: dict[CellKey, PoolResult] = {}
     evaluated = 0
+    heartbeat = HeartbeatWriter(registry.heartbeat_path(run_id))
     try:
         with RunLedger(registry.ledger_path(run_id),
                        durability=durability) as ledger:
@@ -252,7 +255,13 @@ def execute_run(request: RunRequest,
             stats = (engine.stats() if engine is not None
                      else telemetry.snapshot())
             ledger.run_finished(len(cells), stats.to_dict())
+        append_entry(entry_from_result(
+            run_id, request.dataset,
+            {key.cell_id: result.metrics
+             for key, result in results.items()},
+            stats=stats), registry)
     finally:
+        heartbeat.close()
         if sink is not None:
             tracer.sink = None
             sink.close()

@@ -38,6 +38,7 @@ from repro.core.results import (QuestionRecord, metrics_from_dict,
                                 metrics_to_dict, record_from_dict,
                                 record_to_dict)
 from repro.errors import LedgerCorruptError, RunError
+from repro.obs.jsonl import JsonlCorruptError, iter_jsonl
 
 #: File name of the event log inside a run directory.
 LEDGER_FILENAME = "ledger.jsonl"
@@ -186,21 +187,25 @@ def replay_ledger(path: str | Path) -> RunState:
     old readers survive new writers.
     """
     state = RunState()
-    raw_lines = Path(path).read_text(encoding="utf-8").splitlines()
-    last = len(raw_lines) - 1
-    for number, line in enumerate(raw_lines):
-        if not line.strip():
-            continue
+    try:
+        batch = iter_jsonl(path)
+    except JsonlCorruptError as exc:
+        raise LedgerCorruptError(exc.path, exc.line_number,
+                                 exc.reason) from exc
+    if batch.torn:
+        _log.warning("ledger-torn-line dropped path=%s line=%d",
+                     path, batch.torn_line)
+    last = len(batch.records) - 1
+    for index, (number, event) in enumerate(batch.records):
         try:
-            event = json.loads(line)
             _apply(state, event)
         except (ValueError, KeyError, TypeError) as exc:
-            if number == last:
-                # Torn tail: the append died mid-line.
+            if index == last and not batch.torn:
+                # Decoded but unappliable tail: same crash signature.
                 _log.warning("ledger-torn-line dropped path=%s "
-                             "line=%d", path, number + 1)
+                             "line=%d", path, number)
                 break
-            raise LedgerCorruptError(str(path), number + 1,
+            raise LedgerCorruptError(str(path), number,
                                      repr(exc)) from exc
         state.events += 1
     return state

@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import RunError, UnknownRunError
+from repro.runs.heartbeat import (DEFAULT_STALL_DEADLINE_S,
+                                  HEARTBEAT_FILENAME, read_heartbeat,
+                                  run_status)
 from repro.runs.ledger import (LEDGER_FILENAME, RunState, replay_ledger)
 from repro.runs.request import LEDGER_SCHEMA_VERSION, RunRequest
 
@@ -33,6 +36,9 @@ MANIFEST_FILENAME = "manifest.json"
 
 #: File name of the span log inside a run directory.
 SPANS_FILENAME = "spans.jsonl"
+
+#: File name of the cross-run metric time series in the registry root.
+HISTORY_FILENAME = "history.jsonl"
 
 
 def default_runs_root() -> Path:
@@ -58,6 +64,9 @@ class RunSummary:
     questions: int
     finished: bool
     created_at: float
+    #: Live status (``running``/``stalled``/``finished``/``crashed``)
+    #: derived from the heartbeat + the run-finished event.
+    status: str = "crashed"
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -71,7 +80,7 @@ class RunSummary:
             "per_level": "yes" if self.per_level else "no",
             "cells": f"{self.cells_done}/{self.cells_total}",
             "questions": self.questions,
-            "status": "finished" if self.finished else "partial",
+            "status": self.status,
         }
 
     def to_dict(self) -> dict[str, object]:
@@ -88,6 +97,7 @@ class RunSummary:
             "cells_done": self.cells_done,
             "questions": self.questions,
             "finished": self.finished,
+            "status": self.status,
             "created_at": self.created_at,
         }
 
@@ -111,6 +121,13 @@ class RunRegistry:
 
     def spans_path(self, run_id: str) -> Path:
         return self.run_dir(run_id) / SPANS_FILENAME
+
+    def heartbeat_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / HEARTBEAT_FILENAME
+
+    def history_path(self) -> Path:
+        """The registry-wide cross-run metric time series."""
+        return self.root / HISTORY_FILENAME
 
     # ------------------------------------------------------------------
     def create(self, request: RunRequest, cells: int) -> str:
@@ -196,6 +213,29 @@ class RunRegistry:
         return sorted(summaries,
                       key=lambda s: (s.created_at, s.run_id))
 
+    def progress_ts(self, run_id: str) -> float | None:
+        """Last time the run's ledger or span log visibly advanced."""
+        latest: float | None = None
+        for path in (self.ledger_path(run_id),
+                     self.spans_path(run_id)):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            latest = mtime if latest is None else max(latest, mtime)
+        return latest
+
+    def status(self, run_id: str, finished: bool | None = None,
+               stall_deadline_s: float = DEFAULT_STALL_DEADLINE_S
+               ) -> str:
+        """Live status of one run (heartbeat + run-finished event)."""
+        if finished is None:
+            finished = self.state(run_id).finished
+        return run_status(
+            finished, read_heartbeat(self.heartbeat_path(run_id)),
+            self.progress_ts(run_id),
+            stall_deadline_s=stall_deadline_s)
+
     def summary(self, run_id: str) -> RunSummary:
         manifest = self.manifest(run_id)
         request = RunRequest.from_dict(manifest["request"])
@@ -213,4 +253,5 @@ class RunRegistry:
             questions=state.recorded_questions,
             finished=state.finished,
             created_at=float(manifest.get("created_at", 0.0)),
+            status=self.status(run_id, finished=state.finished),
         )

@@ -31,11 +31,13 @@ from repro.errors import RunError
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.obs.export import JsonlSpanSink
+from repro.obs.history import append_entry, entry_from_result
 from repro.obs.tracer import NullTracer, Tracer
 from repro.runs.driver import (CellKey, ModelResolver, RunResult,
                                _build_engine, _pool_for,
                                _resolve_tracer, build_request_pools,
                                plan_cells)
+from repro.runs.heartbeat import HeartbeatWriter
 from repro.runs.ledger import RunLedger
 from repro.runs.registry import RunRegistry
 
@@ -78,6 +80,7 @@ def resume_run(run_id: str,
     evaluated = 0
     replayed = 0
     resumed_cells: list[str] = []
+    heartbeat = HeartbeatWriter(registry.heartbeat_path(run_id))
     try:
         with RunLedger(registry.ledger_path(run_id),
                        durability=durability) as ledger:
@@ -138,7 +141,13 @@ def resume_run(run_id: str,
             stats = (engine.stats() if engine is not None
                      else telemetry.snapshot())
             ledger.run_finished(len(cells), stats.to_dict())
+        append_entry(entry_from_result(
+            run_id, request.dataset,
+            {key.cell_id: result.metrics
+             for key, result in results.items()},
+            stats=stats, attempts=state.attempts + 1), registry)
     finally:
+        heartbeat.close()
         if sink is not None:
             tracer.sink = None
             sink.close()

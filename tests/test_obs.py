@@ -434,6 +434,51 @@ class TestExporters:
         assert metrics["repro_span_question_seconds"].count == 2
         assert metrics["repro_span_run_total"].value == 1
 
+    def test_prometheus_nonfinite_spellings(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_pos").set(float("inf"))
+        registry.gauge("repro_neg").set(float("-inf"))
+        registry.gauge("repro_nan").set(float("nan"))
+        text = format_prometheus(registry)
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert "repro_nan NaN" in text
+        # Python's repr spellings never leak into the exposition.
+        for token in text.split():
+            assert token not in ("inf", "-inf", "nan")
+
+    def test_prometheus_min_max_are_their_own_gauge_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_seconds",
+                           bounds=(0.1,)).observe(0.05)
+        text = format_prometheus(registry)
+        assert "# TYPE repro_latency_seconds_min gauge" in text
+        assert "# TYPE repro_latency_seconds_max gauge" in text
+        # The histogram family itself never claims the bare
+        # suffixed names.
+        histogram_block = text.split(
+            "# TYPE repro_latency_seconds histogram")[1]
+        histogram_block = histogram_block.split("# TYPE")[0]
+        assert "_min" not in histogram_block
+        assert "_max" not in histogram_block
+
+    def test_prometheus_empty_histogram_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_seconds", bounds=(0.1, 1.0))
+        text = format_prometheus(registry)
+        assert "repro_empty_seconds_count 0" in text
+        assert "# TYPE repro_empty_seconds_min gauge" in text
+        for token in text.split():
+            assert token not in ("inf", "-inf", "nan")
+
+    def test_prometheus_inf_observation_renders_plus_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_seconds",
+                           bounds=(0.1,)).observe(float("inf"))
+        text = format_prometheus(registry)
+        assert "repro_latency_seconds_max +Inf" in text
+        assert "inf" not in text.split()
+
 
 # ----------------------------------------------------------------------
 # Reports
