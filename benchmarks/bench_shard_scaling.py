@@ -1,0 +1,173 @@
+"""Bench DIST — sharded-run scaling and the determinism contract.
+
+Runs the same request twice against a backend with a deterministic
+per-call latency (the regime ``--shards`` exists for: real, slow
+endpoints) — once single-process, once as 4 shards across 4 worker
+processes — and gates the two promises ``repro.dist`` makes:
+
+* **exact equality** — the merged run's ``record`` / ``cell-started``
+  / ``cell-finished`` ledger lines are byte-identical to the
+  single-process run's, and every cell's metrics match exactly.
+  Gated unconditionally, at any core count.
+* **scaling** — the sharded run is >= 2x faster end to end (plan +
+  fork + evaluate + merge) at 4 shards.  Gated only on machines with
+  at least 4 cores; the equality gate still runs elsewhere.
+
+The merge also stamps the shard fan-out into ``obs.history``, which
+this bench asserts so dashboards can tell sharded entries apart.
+
+Run standalone for a seconds-scale smoke (used by ``scripts/check.sh``
+and CI)::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.runner import EvaluationRunner
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.obs import read_history
+from repro.questions.model import DatasetKind
+from repro.questions.pools import build_pools
+from repro.runs import RunRegistry, RunRequest, execute_run
+from repro.dist import execute_run_sharded
+
+#: Pass thresholds (asserted by the pytest bench and ``--smoke``).
+SHARDS = 4
+MIN_SPEEDUP = 2.0
+#: Simulated single-process wall time the latency is tuned to.
+TARGET_SINGLE_S = 1.6
+
+#: Set once per process (workers inherit it through ``fork``).
+_LATENCY_S = 0.0
+
+
+class LatencySimulatingModel(BaseChatModel):
+    """A ChatModel answering like GPT-4 after a fixed sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        if self.latency_s:
+            time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+def latency_resolver(name: str):
+    """Module-level so it pickles into forked shard workers."""
+    return LatencySimulatingModel(_LATENCY_S)
+
+
+def _events(registry: RunRegistry, run_id: str) -> list[str]:
+    lines = registry.ledger_path(run_id).read_text(
+        encoding="utf-8").splitlines()
+    return [line for line in lines
+            if json.loads(line).get("event") in
+            ("record", "cell-started", "cell-finished")]
+
+
+def _measure(sample_size: int = 40) -> list[dict[str, object]]:
+    global _LATENCY_S
+    root = tempfile.mkdtemp(prefix="repro-bench-dist-")
+    try:
+        registry = RunRegistry(root)
+        request = RunRequest(models=("GPT-4",),
+                             taxonomy_keys=("ebay",),
+                             sample_size=sample_size, seed="bench")
+
+        # Warm the artifact store and the oracle's lazy indexes so
+        # the forked workers load pools from disk instead of
+        # regenerating taxonomies, and so neither timed side pays
+        # one-time build costs.
+        pool = build_pools(
+            "ebay", sample_size=sample_size,
+            seed="bench").total_pool(DatasetKind.HARD)
+        EvaluationRunner().evaluate(LatencySimulatingModel(0.0), pool)
+        n = len(pool)
+        _LATENCY_S = TARGET_SINGLE_S / max(1, n)
+
+        started = time.perf_counter()
+        single = execute_run(request, registry=registry,
+                             resolve_model=latency_resolver)
+        single_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        sharded = execute_run_sharded(
+            request, shards=SHARDS, registry=registry, procs=SHARDS,
+            resolve_model=latency_resolver)
+        sharded_s = time.perf_counter() - started
+        speedup = single_s / sharded_s
+
+        # -- equality gate material ---------------------------------
+        identical = (_events(registry, single.run_id)
+                     == _events(registry, sharded.run_id))
+        metrics_match = (
+            sharded.cells.keys() == single.cells.keys()
+            and all(sharded.cells[key].metrics == result.metrics
+                    for key, result in single.cells.items()))
+        history = [entry for entry in read_history(registry)
+                   if entry.run_id == sharded.run_id]
+        fanout = history[-1].shards if history else 0
+
+        return [
+            {"mode": "single-process", "n": n,
+             "wall_s": f"{single_s:.3f}", "gate": "-"},
+            {"mode": f"{SHARDS} shards x {SHARDS} procs", "n": n,
+             "wall_s": f"{sharded_s:.3f}",
+             "gate": f"speedup {speedup:.1f}x"},
+            {"mode": "merged ledger", "n": n, "wall_s": "-",
+             "gate": f"identical {identical and metrics_match}"},
+            {"mode": "history fan-out", "n": n, "wall_s": "-",
+             "gate": f"shards {fanout}"},
+        ]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _gate(rows: list[dict[str, object]], prefix: str) -> str:
+    row = next(row for row in rows
+               if str(row["gate"]).startswith(prefix))
+    return str(row["gate"]).split()[-1]
+
+
+def _assert_gates(rows: list[dict[str, object]]) -> None:
+    assert _gate(rows, "identical") == "True", \
+        "sharded merge is not bit-identical to the single-process run"
+    assert int(_gate(rows, "shards")) == SHARDS, \
+        "merge did not stamp the shard fan-out into obs.history"
+    cores = os.cpu_count() or 1
+    if cores >= SHARDS:
+        speedup = float(_gate(rows, "speedup").rstrip("x"))
+        assert speedup >= MIN_SPEEDUP, \
+            f"{SHARDS} shards on {cores} cores only {speedup:.1f}x " \
+            f"faster than single-process (gate: {MIN_SPEEDUP:.0f}x)"
+
+
+def test_shard_scaling(benchmark, report):
+    rows = once(benchmark, _measure)
+    _assert_gates(rows)
+    report(format_rows(
+        rows, title=f"Sharded scaling: {SHARDS} shards vs "
+                    f"single-process (simulated latency)"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    smoke = "--smoke" in sys.argv
+    table = _measure(sample_size=24 if smoke else 40)
+    _assert_gates(table)
+    print(format_rows(table, title="Shard scaling smoke" if smoke
+                      else "Shard scaling"))

@@ -18,6 +18,9 @@ python benchmarks/bench_dataset_build.py --smoke
 echo "== run ledger smoke =="
 python benchmarks/bench_run_ledger.py --smoke
 
+echo "== shard scaling smoke (equality + speedup gates) =="
+python benchmarks/bench_shard_scaling.py --smoke
+
 echo "== tracing overhead smoke =="
 python benchmarks/bench_obs_overhead.py
 

@@ -17,6 +17,9 @@
     python -m repro runs list --json
     python -m repro runs show <run-id>
     python -m repro runs resume <run-id> --workers 8
+    python -m repro run --shards 4 --models GPT-4 --taxonomies ebay
+    python -m repro runs merge <run-id>
+    python -m repro runs gc --dry-run
     python -m repro runs diff <run-id-a> <run-id-b>
     python -m repro watch <run-id> --once --json
     python -m repro obs trace <run-id> --out trace.json
@@ -72,6 +75,10 @@ from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 from repro.runs import (RunRegistry, RunRequest, diff_runs,
                         execute_run, load_run, resume_run)
+from repro.dist import (DEFAULT_MIN_AGE_S, execute_run_sharded,
+                        gc_runs, merge_run, render_shard_dashboard,
+                        resume_run_sharded, shard_statuses,
+                        watch_shards)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -186,6 +193,17 @@ def _parser() -> argparse.ArgumentParser:
                           "shape) instead of level-combined pools")
     _add_runs_dir(run)
     _add_engine_options(run)
+    run.add_argument("--shards", type=int, default=0, metavar="K",
+                     help="split the sweep into K disjoint shards "
+                          "executed by independent worker processes "
+                          "and deterministically merged (0 = "
+                          "single-process)")
+    run.add_argument("--local-procs", type=int, default=None,
+                     metavar="M",
+                     help="worker processes driving --shards "
+                          "(default: one per shard, capped at the "
+                          "machine's cores; 0 = inline, for "
+                          "debugging)")
 
     runs = commands.add_parser(
         "runs", help="inspect, resume and diff ledgered runs")
@@ -212,8 +230,37 @@ def _parser() -> argparse.ArgumentParser:
     runs_resume = runs_commands.add_parser(
         "resume", help="finish an interrupted run from its ledger")
     runs_resume.add_argument("run_id")
+    runs_resume.add_argument("--local-procs", type=int, default=None,
+                             metavar="M",
+                             help="worker processes when resuming a "
+                                  "sharded run (0 = inline)")
     _add_runs_dir(runs_resume)
     _add_engine_options(runs_resume)
+
+    runs_merge = runs_commands.add_parser(
+        "merge", help="fold a sharded run's shard ledgers into its "
+                      "run ledger (bit-identical to a single-process "
+                      "run)")
+    runs_merge.add_argument("run_id")
+    runs_merge.add_argument("--force", action="store_true",
+                            help="re-merge from the shard ledgers "
+                                 "even when the run is already "
+                                 "finished")
+    _add_runs_dir(runs_merge)
+
+    runs_gc = runs_commands.add_parser(
+        "gc", help="prune merged-away shard directories, orphaned "
+                   "run directories and stale tmp files")
+    runs_gc.add_argument("--dry-run", action="store_true",
+                         help="report the candidates without "
+                              "deleting anything")
+    runs_gc.add_argument("--min-age", type=float,
+                         default=DEFAULT_MIN_AGE_S, metavar="SECONDS",
+                         help="leave crash debris younger than this "
+                              "alone (it may be mid-write)")
+    runs_gc.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    _add_runs_dir(runs_gc)
 
     runs_diff = runs_commands.add_parser(
         "diff", help="per-cell metric deltas and answer flips "
@@ -561,6 +608,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
         workers=max(1, args.workers),
         retries=max(0, args.retries),
     )
+    if args.shards > 0:
+        result = execute_run_sharded(
+            request, args.shards, registry=_registry(args),
+            procs=args.local_procs, cache_path=args.cache)
+        return _run_result_report(
+            result,
+            title=f"Sharded run (x{args.shards}) on {args.dataset} "
+                  f"datasets")
     engine = _build_engine(args) if args.workers > 1 else None
     result = execute_run(request, registry=_registry(args),
                          engine=engine)
@@ -589,6 +644,11 @@ def _watch(registry: RunRegistry, run_id: str, once: bool = False,
            as_json: bool = False, interval_s: float = 1.0,
            stall_after: float | None = None) -> str:
     """Shared body of ``repro watch`` and ``runs show --follow``."""
+    if (registry.shard_count(run_id) > 0
+            and not registry.ledger_path(run_id).exists()):
+        return _watch_sharded(registry, run_id, once=once,
+                              as_json=as_json, interval_s=interval_s,
+                              stall_after=stall_after)
     if once:
         progress = LedgerFollower(
             run_id, registry=registry,
@@ -610,6 +670,33 @@ def _watch(registry: RunRegistry, run_id: str, once: bool = False,
             f"{progress.accuracy:.3f}, "
             f"{progress.questions_done} questions in "
             f"{progress.elapsed_s:.1f}s")
+
+
+def _watch_sharded(registry: RunRegistry, run_id: str,
+                   once: bool = False, as_json: bool = False,
+                   interval_s: float = 1.0,
+                   stall_after: float | None = None) -> str:
+    """Shard dashboard for a run whose shards are still unmerged."""
+    kwargs = ({"stall_deadline_s": stall_after}
+              if stall_after is not None else {})
+    if once:
+        statuses = shard_statuses(run_id, registry=registry, **kwargs)
+        if as_json:
+            return json.dumps(
+                [status.to_dict() for status in statuses], indent=1)
+        return render_shard_dashboard(run_id, statuses)
+    try:
+        statuses = watch_shards(run_id, registry=registry,
+                                interval_s=interval_s,
+                                emit=print if as_json else None,
+                                **kwargs)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return f"\nstopped watching {run_id}"
+    if all(status.status == "finished" for status in statuses):
+        return (f"all {len(statuses)} shards finished — run "
+                f"`repro runs merge {run_id}` to finish the run")
+    return "shards settled: " + ", ".join(
+        f"{status.shard:02d}={status.status}" for status in statuses)
 
 
 def _cmd_watch(args: argparse.Namespace) -> str:
@@ -636,6 +723,9 @@ def _cmd_runs_show(args: argparse.Namespace) -> str:
                           if cell.complete else "-"),
             "status": "done" if cell.complete else "partial",
         })
+    shards = registry.shard_count(args.run_id)
+    shard_rows = (shard_statuses(args.run_id, registry=registry)
+                  if shards else [])
     if args.json:
         return json.dumps({
             "manifest": manifest,
@@ -643,12 +733,17 @@ def _cmd_runs_show(args: argparse.Namespace) -> str:
             "attempts": state.attempts,
             "stats": state.stats,
             "cells": cell_rows,
+            "shards": [status.to_dict() for status in shard_rows],
         }, indent=1)
     status = "finished" if state.finished else "partial"
     header = (f"run {args.run_id} [{status}, "
               f"attempt {state.attempts}] "
               f"request={json.dumps(manifest['request'])}")
     out = header + "\n" + format_rows(cell_rows, title="Cells")
+    if shard_rows:
+        out += "\n" + format_rows(
+            [status.as_row() for status in shard_rows],
+            title=f"Shards (x{shards})")
     if state.stats:
         out += "\n" + format_engine_stats(
             EngineStats.from_dict(state.stats),
@@ -662,13 +757,43 @@ def _cmd_runs_show(args: argparse.Namespace) -> str:
 
 
 def _cmd_runs_resume(args: argparse.Namespace) -> str:
+    registry = _registry(args)
+    if (registry.shard_count(args.run_id) > 0
+            and not registry.state(args.run_id).finished):
+        result = resume_run_sharded(args.run_id, registry=registry,
+                                    procs=args.local_procs,
+                                    cache_path=args.cache)
+        return _run_result_report(
+            result, title=f"Resumed sharded run {args.run_id}")
     engine = _build_engine(args) if args.workers > 1 else None
-    result = resume_run(args.run_id, registry=_registry(args),
+    result = resume_run(args.run_id, registry=registry,
                         engine=engine)
     if engine is not None:
         _persist_cache(engine, args)
     return _run_result_report(
         result, title=f"Resumed run {args.run_id}")
+
+
+def _cmd_runs_merge(args: argparse.Namespace) -> str:
+    result = merge_run(args.run_id, registry=_registry(args),
+                       force=args.force)
+    return _run_result_report(
+        result, title=f"Merged run {args.run_id}")
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> str:
+    report = gc_runs(registry=_registry(args), dry_run=args.dry_run,
+                     min_age_s=args.min_age)
+    if args.json:
+        return json.dumps(report.to_dict(), indent=1)
+    verb = "would remove" if report.dry_run else "removed"
+    if not report.removed:
+        return f"{verb} nothing — registry is clean"
+    table = format_rows(
+        [candidate.as_row() for candidate in report.removed],
+        title="Registry garbage collection")
+    return (table + f"\n{verb} {len(report.removed)} path(s), "
+            f"{report.bytes_reclaimed} bytes")
 
 
 def _cmd_runs_diff(args: argparse.Namespace) -> str:
@@ -805,6 +930,8 @@ _RUNS_COMMANDS = {
     "list": _cmd_runs_list,
     "show": _cmd_runs_show,
     "resume": _cmd_runs_resume,
+    "merge": _cmd_runs_merge,
+    "gc": _cmd_runs_gc,
     "diff": _cmd_runs_diff,
 }
 

@@ -204,6 +204,38 @@ class EvaluationRunner:
         return self._evaluate_cell(model, pool.questions, setting,
                                    label=pool.label, done=done)
 
+    def evaluate_slice(self, model: ChatModel, pool: QuestionPool,
+                       setting: PromptSetting,
+                       indices, done: Mapping[int, QuestionRecord]
+                       | None = None) -> dict[int, QuestionRecord]:
+        """Score a subset of a pool's questions (the shard path).
+
+        Unlike :meth:`evaluate`, the cell is *not* sealed: a shard
+        owns only ``indices`` of the cell, so it emits cell-started
+        (with the full pool size, letting any replayer know the
+        expected extent), streams its records at their absolute pool
+        indices, and leaves ``cell-finished`` to the merge, which is
+        the only party that sees every shard's records.  ``done``
+        holds records a previous shard attempt already persisted;
+        only the holes are re-asked.
+        """
+        done = dict(done or {})
+        cell = None
+        if self.ledger is not None:
+            cell = self.cell_id(model, pool.label, setting)
+            self.ledger.cell_started(cell, len(pool.questions))
+        indexed = [(index, pool.questions[index])
+                   for index in sorted(indices)
+                   if index not in done]
+        with self.tracer.span("cell", model=model.name,
+                              label=pool.label, setting=setting.value,
+                              n=len(indexed), sliced=True):
+            for index, record in self._ask_indexed(
+                    model, indexed, setting,
+                    pool_questions=pool.questions, cell=cell):
+                done[index] = record
+        return done
+
     def evaluate_questions(self, model: ChatModel,
                            questions: tuple[Question, ...],
                            setting: PromptSetting =

@@ -1,0 +1,150 @@
+"""Registry garbage collection for sharded sweeps.
+
+Sharded runs leave two classes of disposable state behind: the
+``shards/`` directory of a successfully *merged* run (K ledgers,
+span logs, heartbeats and caches whose every byte has been folded
+into the top-level run artifacts), and debris from crashes — run
+directories whose creator died between the exclusive ``mkdir`` and
+the manifest write, and ``*.tmp`` files from a merge or atomic write
+that never reached its ``os.replace``.  None of it is load-bearing,
+all of it accretes, and ``repro runs gc`` prunes it.
+
+Safety rails: anything younger than ``min_age_s`` is left alone (it
+may belong to a run that is mid-create or mid-merge *right now*),
+an unmerged run's shard directories are never touched (they are the
+only copy of the work), and ``--dry-run`` reports what would go
+without deleting a byte.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runs.registry import RunRegistry
+
+#: Default minimum age before crash debris is considered abandoned.
+DEFAULT_MIN_AGE_S = 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class GcCandidate:
+    """One path the collector decided (or proposed) to remove."""
+
+    path: str
+    reason: str            # orphan-run | merged-shards | stale-tmp
+    bytes: int
+
+    def as_row(self) -> dict[str, object]:
+        return {"path": self.path, "reason": self.reason,
+                "bytes": self.bytes}
+
+
+@dataclass(frozen=True, slots=True)
+class GcReport:
+    """Outcome of one collection pass."""
+
+    dry_run: bool
+    removed: tuple[GcCandidate, ...] = field(default=())
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return sum(candidate.bytes for candidate in self.removed)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "dry_run": self.dry_run,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "removed": [candidate.as_row()
+                        for candidate in self.removed],
+        }
+
+
+def _tree_bytes(path: Path) -> int:
+    """Total file bytes under ``path`` (0 on racing deletion)."""
+    if path.is_file():
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+    total = 0
+    for root, _, names in os.walk(path, onerror=lambda err: None):
+        for name in names:
+            try:
+                total += (Path(root) / name).stat().st_size
+            except OSError:
+                continue
+    return total
+
+
+def _old_enough(path: Path, now: float, min_age_s: float) -> bool:
+    try:
+        return now - path.stat().st_mtime >= min_age_s
+    except OSError:
+        return False
+
+
+def _stale_tmps(run_dir: Path, now: float,
+                min_age_s: float) -> list[Path]:
+    """``*.tmp`` files under a run dir (atomic-write leftovers)."""
+    try:
+        candidates = sorted(run_dir.rglob("*.tmp"))
+    except OSError:
+        return []
+    return [path for path in candidates
+            if path.is_file() and _old_enough(path, now, min_age_s)]
+
+
+def gc_runs(registry: RunRegistry | None = None,
+            dry_run: bool = False,
+            min_age_s: float = DEFAULT_MIN_AGE_S,
+            now: float | None = None) -> GcReport:
+    """Collect disposable registry state; see the module docstring.
+
+    Returns the full candidate list (with per-path byte counts)
+    whether or not anything was actually deleted.
+    """
+    registry = registry if registry is not None else RunRegistry()
+    now = time.time() if now is None else now
+    candidates: list[GcCandidate] = []
+
+    for orphan in registry.orphan_dirs():
+        if _old_enough(orphan, now, min_age_s):
+            candidates.append(GcCandidate(
+                path=str(orphan), reason="orphan-run",
+                bytes=_tree_bytes(orphan)))
+
+    for run_id in registry.list_ids():
+        run_dir = registry.run_dir(run_id)
+        shards_dir = registry.shards_dir(run_id)
+        if shards_dir.is_dir():
+            try:
+                finished = registry.state(run_id).finished
+            except Exception:
+                finished = False    # undecodable run: keep everything
+            if finished:
+                candidates.append(GcCandidate(
+                    path=str(shards_dir), reason="merged-shards",
+                    bytes=_tree_bytes(shards_dir)))
+        for tmp in _stale_tmps(run_dir, now, min_age_s):
+            if any(tmp.is_relative_to(candidate.path)
+                   for candidate in candidates):
+                continue            # parent already scheduled
+            candidates.append(GcCandidate(
+                path=str(tmp), reason="stale-tmp",
+                bytes=_tree_bytes(tmp)))
+
+    if not dry_run:
+        for candidate in candidates:
+            path = Path(candidate.path)
+            try:
+                if path.is_dir():
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+    return GcReport(dry_run=dry_run, removed=tuple(candidates))

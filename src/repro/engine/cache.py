@@ -88,6 +88,37 @@ class ResponseCache:
         with self._lock:
             self._entries.clear()
 
+    def entries(self) -> list[tuple[str, str, str]]:
+        """A ``(model, prompt, response)`` snapshot, LRU order."""
+        with self._lock:
+            return [(model, prompt, response)
+                    for (model, prompt), response
+                    in self._entries.items()]
+
+    def merge(self, other: "ResponseCache") -> int:
+        """Fold ``other``'s entries in; existing keys win.
+
+        First-writer-wins is what makes a multi-way merge
+        deterministic regardless of which shard answered a prompt
+        first in wall-clock time: callers merge shards in index
+        order, so the surviving response for a key depends only on
+        the shard order, never on scheduling.  Returns the number of
+        entries actually added.
+        """
+        added = 0
+        for model, prompt, response in other.entries():
+            key = (model, prompt)
+            with self._lock:
+                if key in self._entries:
+                    continue
+                self._entries[key] = response
+                added += 1
+                while (self.capacity is not None
+                       and len(self._entries) > self.capacity):
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+        return added
+
     # ------------------------------------------------------------------
     # Persistence (taxonomy.io-style dict round trip)
     # ------------------------------------------------------------------
@@ -178,6 +209,22 @@ class ResponseCache:
         registry.counter(
             PERSIST_LOADS, "response cache load attempts").add(1)
         return cache
+
+
+def merge_caches(caches, capacity: int | None = None
+                 ) -> ResponseCache:
+    """Fold several caches into a fresh one, earliest-first-wins.
+
+    The shard-run merge path: each worker process persists its *own*
+    cache file (no two shards ever write one path, so there is
+    nothing to clobber), and the driver folds them — in shard index
+    order — into the shared cache after the run.  With ``caches``
+    ordered deterministically the merged content is too.
+    """
+    merged = ResponseCache(capacity=capacity)
+    for cache in caches:
+        merged.merge(cache)
+    return merged
 
 
 class CachedModel:

@@ -62,6 +62,10 @@ class HistoryEntry:
     cache_hit_rate: float
     retries: int = 0
     faults: int = 0
+    #: Shard fan-out the run executed with (1 = single process), so
+    #: check baselines recorded at different fan-outs stay
+    #: distinguishable even though their metrics must be identical.
+    shards: int = 1
     #: Per-cell accuracy (cell id -> accuracy), the unit the
     #: regression gate compares.
     cell_accuracy: dict[str, float] = field(default_factory=dict)
@@ -82,6 +86,7 @@ class HistoryEntry:
             "cache_hit_rate": self.cache_hit_rate,
             "retries": self.retries,
             "faults": self.faults,
+            "shards": self.shards,
             "cell_accuracy": dict(self.cell_accuracy),
         }
 
@@ -104,6 +109,7 @@ class HistoryEntry:
                                                  0.0)),
                 retries=int(payload.get("retries", 0)),
                 faults=int(payload.get("faults", 0)),
+                shards=int(payload.get("shards", 1)),
                 cell_accuracy={
                     str(cell): float(acc)
                     for cell, acc in dict(
@@ -122,6 +128,7 @@ class HistoryEntry:
             "dataset": self.dataset,
             "cells": self.cells,
             "questions": self.questions,
+            "shards": self.shards,
             "accuracy": f"{self.accuracy:.3f}",
             "wall_s": f"{self.wall_time_s:.3f}",
             "q_per_s": f"{self.throughput:.1f}",
@@ -137,8 +144,8 @@ class HistoryEntry:
 def entry_from_result(run_id: str, dataset: str,
                       cell_metrics: Mapping[str, object],
                       stats=None, attempts: int = 1,
-                      finished_at: float | None = None
-                      ) -> HistoryEntry:
+                      finished_at: float | None = None,
+                      shards: int = 1) -> HistoryEntry:
     """Fold a completed run into one history entry.
 
     ``cell_metrics`` maps cell id -> :class:`repro.core.metrics
@@ -165,6 +172,7 @@ def entry_from_result(run_id: str, dataset: str,
         cache_hit_rate=(stats.cache_hit_rate if stats else 0.0),
         retries=(stats.retries if stats else 0),
         faults=(stats.faults if stats else 0),
+        shards=max(1, shards),
         cell_accuracy={cell_id: metrics.accuracy
                        for cell_id, metrics
                        in sorted(cell_metrics.items())},

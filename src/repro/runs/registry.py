@@ -40,6 +40,12 @@ SPANS_FILENAME = "spans.jsonl"
 #: File name of the cross-run metric time series in the registry root.
 HISTORY_FILENAME = "history.jsonl"
 
+#: File name of the shard plan inside a sharded run directory.
+SHARD_PLAN_FILENAME = "shards.json"
+
+#: Directory of per-shard state inside a sharded run directory.
+SHARDS_DIRNAME = "shards"
+
 
 def default_runs_root() -> Path:
     value = os.environ.get(RUNS_ENV)
@@ -64,9 +70,13 @@ class RunSummary:
     questions: int
     finished: bool
     created_at: float
-    #: Live status (``running``/``stalled``/``finished``/``crashed``)
-    #: derived from the heartbeat + the run-finished event.
+    #: Live status (``running``/``stalled``/``finished``/``crashed``,
+    #: plus ``unmerged`` for sharded runs whose workers all finished,
+    #: and ``invalid`` for undecodable run directories) derived from
+    #: the heartbeat + the run-finished event.
     status: str = "crashed"
+    #: Shard fan-out (0 = unsharded single-process run).
+    shards: int = 0
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -80,6 +90,7 @@ class RunSummary:
             "per_level": "yes" if self.per_level else "no",
             "cells": f"{self.cells_done}/{self.cells_total}",
             "questions": self.questions,
+            "shards": self.shards if self.shards else "-",
             "status": self.status,
         }
 
@@ -98,6 +109,7 @@ class RunSummary:
             "questions": self.questions,
             "finished": self.finished,
             "status": self.status,
+            "shards": self.shards,
             "created_at": self.created_at,
         }
 
@@ -128,6 +140,44 @@ class RunRegistry:
     def history_path(self) -> Path:
         """The registry-wide cross-run metric time series."""
         return self.root / HISTORY_FILENAME
+
+    # ------------------------------------------------------------------
+    # Sharded run layout (``repro.dist``)
+    # ------------------------------------------------------------------
+    def shard_plan_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / SHARD_PLAN_FILENAME
+
+    def shards_dir(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / SHARDS_DIRNAME
+
+    def shard_dir(self, run_id: str, shard: int) -> Path:
+        return self.shards_dir(run_id) / f"shard-{shard:02d}"
+
+    def shard_ledger_path(self, run_id: str, shard: int) -> Path:
+        return self.shard_dir(run_id, shard) / LEDGER_FILENAME
+
+    def shard_spans_path(self, run_id: str, shard: int) -> Path:
+        return self.shard_dir(run_id, shard) / SPANS_FILENAME
+
+    def shard_heartbeat_path(self, run_id: str, shard: int) -> Path:
+        return self.shard_dir(run_id, shard) / HEARTBEAT_FILENAME
+
+    def shard_cache_path(self, run_id: str, shard: int) -> Path:
+        return self.shard_dir(run_id, shard) / "cache.json"
+
+    def shard_count(self, run_id: str) -> int:
+        """Planned shard fan-out (0 = unsharded; corrupt plan = 0).
+
+        Cheap existence-plus-header probe for listings — use
+        :func:`repro.dist.planner.load_shard_plan` when the full plan
+        (with strict corruption errors) is needed.
+        """
+        path = self.shard_plan_path(run_id)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return max(0, int(payload["shards"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0
 
     # ------------------------------------------------------------------
     def create(self, request: RunRequest, cells: int) -> str:
@@ -206,10 +256,38 @@ class RunRegistry:
             entry.name for entry in self.root.iterdir()
             if entry.is_dir() and (entry / MANIFEST_FILENAME).exists())
 
+    def orphan_dirs(self) -> list[Path]:
+        """Run directories without a manifest (crashed mid-create).
+
+        These are invisible to :meth:`list_ids` — a ``create`` that
+        died between its exclusive ``mkdir`` and the manifest write
+        leaves one behind — and are what ``repro runs gc`` prunes.
+        """
+        if not self.root.exists():
+            return []
+        return sorted(
+            entry for entry in self.root.iterdir()
+            if entry.is_dir()
+            and not (entry / MANIFEST_FILENAME).exists())
+
     def list_runs(self) -> list[RunSummary]:
-        """Summaries for every run, oldest first."""
-        summaries = [self.summary(run_id)
-                     for run_id in self.list_ids()]
+        """Summaries for every run, oldest first.
+
+        A run directory that cannot be decoded (corrupt manifest or
+        ledger — e.g. a creator crashed mid-write, or the disk lied)
+        is *flagged* as an ``invalid`` row rather than poisoning the
+        whole listing with an exception.
+        """
+        summaries = []
+        for run_id in self.list_ids():
+            try:
+                summaries.append(self.summary(run_id))
+            except RunError:
+                summaries.append(RunSummary(
+                    run_id=run_id, dataset="?", models=0, taxonomies=0,
+                    settings="", sample_size=None, per_level=False,
+                    cells_total=0, cells_done=0, questions=0,
+                    finished=False, created_at=0.0, status="invalid"))
         return sorted(summaries,
                       key=lambda s: (s.created_at, s.run_id))
 
@@ -228,9 +306,21 @@ class RunRegistry:
     def status(self, run_id: str, finished: bool | None = None,
                stall_deadline_s: float = DEFAULT_STALL_DEADLINE_S
                ) -> str:
-        """Live status of one run (heartbeat + run-finished event)."""
+        """Live status of one run (heartbeat + run-finished event).
+
+        For a sharded run that has not been merged yet, the top-level
+        ledger and heartbeat do not exist — the truth lives in the K
+        shard directories, so status aggregation is delegated to
+        ``repro.dist`` (call-time import: ``dist`` imports ``runs`` at
+        module level, so this direction must stay lazy).
+        """
         if finished is None:
             finished = self.state(run_id).finished
+        if not finished and self.shard_count(run_id) > 0:
+            from repro.dist.status import sharded_run_status
+            return sharded_run_status(
+                run_id, registry=self,
+                stall_deadline_s=stall_deadline_s)
         return run_status(
             finished, read_heartbeat(self.heartbeat_path(run_id)),
             self.progress_ts(run_id),
@@ -254,4 +344,5 @@ class RunRegistry:
             finished=state.finished,
             created_at=float(manifest.get("created_at", 0.0)),
             status=self.status(run_id, finished=state.finished),
+            shards=self.shard_count(run_id),
         )

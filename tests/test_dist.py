@@ -1,0 +1,506 @@
+"""Tests for repro.dist: planning, sharded execution, merge, gc.
+
+The heart of the suite is the determinism contract: a sharded run —
+at any worker count, including one crashed and resumed mid-shard —
+merges into a ledger whose record/cell event lines are byte-identical
+to a single-process run of the same request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.engine.cache import ResponseCache, merge_caches
+from repro.errors import RunError
+from repro.llm.registry import get_model
+from repro.obs.export import read_spans_jsonl
+from repro.runs import (RunRegistry, RunRequest, execute_run,
+                        load_run)
+from repro.runs.driver import CellKey
+from repro.dist import (execute_run_sharded, gc_runs, load_shard_plan,
+                        merge_run, merge_shard_caches, plan_shards,
+                        render_shard_dashboard, resume_run_sharded,
+                        run_shard, shard_statuses,
+                        sharded_run_status)
+from repro.cli import main
+
+SMALL = dict(dataset="mcq", models=("GPT-4", "LLMs4OL"),
+             taxonomy_keys=("ebay", "glottolog"),
+             settings=("zero-shot",), sample_size=6, seed="dist")
+
+
+@pytest.fixture()
+def registry(tmp_path) -> RunRegistry:
+    return RunRegistry(tmp_path / "runs")
+
+
+def _events(registry: RunRegistry, run_id: str) -> list[str]:
+    """The determinism-contract slice of a run's ledger lines."""
+    lines = registry.ledger_path(run_id).read_text(
+        encoding="utf-8").splitlines()
+    return [line for line in lines
+            if json.loads(line).get("event") in
+            ("record", "cell-started", "cell-finished")]
+
+
+class _BudgetedModel:
+    """Wraps a model; raises once a shared call budget is spent."""
+
+    def __init__(self, inner, counter, lock):
+        self.inner = inner
+        self.name = inner.name
+        self._counter = counter
+        self._lock = lock
+
+    def generate(self, prompt: str) -> str:
+        with self._lock:
+            if self._counter["budget"] <= 0:
+                raise RuntimeError("injected crash")
+            self._counter["budget"] -= 1
+        return self.inner.generate(prompt)
+
+
+def budgeted_resolver(budget: int):
+    counter = {"budget": budget}
+    lock = threading.Lock()
+
+    def resolve(name: str):
+        return _BudgetedModel(get_model(name), counter, lock)
+
+    return resolve
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_plan_is_disjoint_exact_cover(self):
+        request = RunRequest(**SMALL)
+        plan = plan_shards(request, 4)
+        assert plan.num_shards == 4
+        covered = {cell_id: set() for cell_id, _ in plan.cells}
+        for task in plan.tasks():
+            indices = set(task.indices)
+            assert not covered[task.cell.cell_id] & indices
+            covered[task.cell.cell_id] |= indices
+        for cell_id, n in plan.cells:
+            assert covered[cell_id] == set(range(n))
+
+    def test_plan_is_balanced(self):
+        plan = plan_shards(RunRequest(**SMALL), 4)
+        sizes = [plan.shard_questions(i) for i in range(4)]
+        assert sum(sizes) == plan.total_questions
+        assert min(sizes) > 0
+
+    def test_plan_is_pure_function_of_request(self):
+        a = plan_shards(RunRequest(**SMALL), 3)
+        b = plan_shards(RunRequest(**SMALL), 3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_more_shards_than_questions(self):
+        request = RunRequest(dataset="mcq", models=("GPT-4",),
+                             taxonomy_keys=("ebay",),
+                             settings=("zero-shot",), sample_size=2,
+                             seed="tiny")
+        plan = plan_shards(request, 64)
+        assert plan.num_shards == 64
+        covered = {cell_id: set() for cell_id, _ in plan.cells}
+        for task in plan.tasks():
+            covered[task.cell.cell_id] |= set(task.indices)
+        for cell_id, n in plan.cells:
+            assert covered[cell_id] == set(range(n))
+
+    def test_round_trip_through_registry(self, registry):
+        from repro.dist import save_shard_plan
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 3)
+        save_shard_plan(registry, run_id, plan)
+        assert registry.shard_count(run_id) == 3
+        assert load_shard_plan(registry, run_id).to_dict() \
+            == plan.to_dict()
+
+    def test_load_without_plan_raises(self, registry):
+        run_id = registry.create(RunRequest(**SMALL), cells=8)
+        assert registry.shard_count(run_id) == 0
+        with pytest.raises(RunError, match="no shard plan"):
+            load_shard_plan(registry, run_id)
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(RunError, match="shards must be >= 1"):
+            plan_shards(RunRequest(**SMALL), 0)
+        with pytest.raises(RunError, match="shards must be >= 1"):
+            execute_run_sharded(RunRequest(**SMALL), 0)
+
+
+# ----------------------------------------------------------------------
+# Sharded execution == single-process execution
+# ----------------------------------------------------------------------
+class TestShardedDeterminism:
+    def test_inline_shards_match_single_process(self, registry):
+        request = RunRequest(**SMALL)
+        single = execute_run(request, registry=registry)
+        sharded = execute_run_sharded(request, shards=4,
+                                      registry=registry, procs=0)
+        assert sharded.run_id != single.run_id
+        assert _events(registry, sharded.run_id) \
+            == _events(registry, single.run_id)
+        assert sharded.cells.keys() == single.cells.keys()
+        for key, expected in single.cells.items():
+            got = sharded.cells[key]
+            assert got.metrics == expected.metrics
+            assert got.records == expected.records
+        assert sharded.evaluated == single.evaluated
+        assert registry.summary(sharded.run_id).status == "finished"
+        assert registry.summary(sharded.run_id).shards == 4
+
+    def test_process_pool_shards_match_single_process(self, registry):
+        request = RunRequest(**SMALL)
+        single = execute_run(request, registry=registry)
+        sharded = execute_run_sharded(request, shards=2,
+                                      registry=registry, procs=2)
+        assert _events(registry, sharded.run_id) \
+            == _events(registry, single.run_id)
+        assert sharded.evaluated == single.evaluated
+
+    def test_merged_spans_have_single_root(self, registry):
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=3,
+                                      registry=registry, procs=0)
+        spans = read_spans_jsonl(registry.spans_path(sharded.run_id))
+        roots = [span for span in spans if span.parent_id is None]
+        assert len(roots) == 1
+        assert roots[0].name == "run"
+        assert roots[0].attrs["merged"] is True
+        assert roots[0].attrs["shards"] == 3
+        assert sum(1 for span in spans if span.name == "shard") == 3
+
+    def test_sharded_run_loads_back(self, registry):
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=2,
+                                      registry=registry, procs=0)
+        loaded = load_run(sharded.run_id, registry=registry)
+        assert loaded.cells.keys() == sharded.cells.keys()
+        for key, expected in sharded.cells.items():
+            assert loaded.cells[key].metrics == expected.metrics
+
+    def test_history_records_shard_fanout(self, registry):
+        from repro.obs import read_history
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=2,
+                                      registry=registry, procs=0)
+        entries = [entry for entry in read_history(registry)
+                   if entry.run_id == sharded.run_id]
+        assert entries and entries[-1].shards == 2
+
+
+# ----------------------------------------------------------------------
+# Crash / resume
+# ----------------------------------------------------------------------
+class TestCrashResume:
+    def test_killed_worker_resumes_bit_identical(self, registry):
+        request = RunRequest(**SMALL)
+        single = execute_run(request, registry=registry)
+        with pytest.raises(RunError, match="shard") as excinfo:
+            execute_run_sharded(request, shards=4, registry=registry,
+                                procs=0,
+                                resolve_model=budgeted_resolver(13))
+        assert "resume" in str(excinfo.value)
+        run_id = [rid for rid in registry.list_ids()
+                  if rid != single.run_id][0]
+        # the durable partial state refuses to merge...
+        with pytest.raises(RunError, match="cannot be merged yet"):
+            merge_run(run_id, registry=registry)
+        # ...and resume completes it to the single-process bytes.
+        resumed = resume_run_sharded(run_id, registry=registry,
+                                     procs=0)
+        assert _events(registry, run_id) \
+            == _events(registry, single.run_id)
+        assert resumed.evaluated + resumed.replayed \
+            == sum(len(result.records)
+                   for result in single.cells.values())
+        assert resumed.evaluated > 0       # fresh work happened
+        assert resumed.replayed > 0        # durable work was reused
+
+    def test_resume_of_finished_run_is_pure_replay(self, registry):
+        request = RunRequest(**SMALL)
+        sharded = execute_run_sharded(request, shards=2,
+                                      registry=registry, procs=0)
+        before = _events(registry, sharded.run_id)
+        again = resume_run_sharded(sharded.run_id, registry=registry,
+                                   procs=0)
+        assert again.evaluated == 0
+        assert _events(registry, sharded.run_id) == before
+
+    def test_merge_is_idempotent_and_forceable(self, registry):
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=2,
+                                      registry=registry, procs=0)
+        before = _events(registry, sharded.run_id)
+        merged = merge_run(sharded.run_id, registry=registry)
+        assert merged.evaluated == 0       # pure load, no re-merge
+        forced = merge_run(sharded.run_id, registry=registry,
+                           force=True)
+        assert _events(registry, sharded.run_id) == before
+        assert forced.cells.keys() == sharded.cells.keys()
+
+
+# ----------------------------------------------------------------------
+# Status aggregation
+# ----------------------------------------------------------------------
+class TestShardStatus:
+    def test_pending_then_finished(self, registry):
+        from repro.dist import save_shard_plan
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=4)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        statuses = shard_statuses(run_id, registry=registry)
+        assert [s.status for s in statuses] == ["pending", "pending"]
+        assert sharded_run_status(run_id, registry=registry) \
+            == "crashed"
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        statuses = shard_statuses(run_id, registry=registry)
+        assert statuses[0].status == "finished"
+        assert statuses[1].status == "pending"
+        run_shard(run_id, 1, registry=registry, plan=plan)
+        assert sharded_run_status(run_id, registry=registry) \
+            == "unmerged"
+        assert registry.summary(run_id).status == "unmerged"
+        dashboard = render_shard_dashboard(
+            run_id, shard_statuses(run_id, registry=registry))
+        assert "repro runs merge" in dashboard
+        merge_run(run_id, registry=registry)
+        assert registry.summary(run_id).status == "finished"
+
+    def test_questions_done_tracks_progress(self, registry):
+        from repro.dist import save_shard_plan
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        statuses = shard_statuses(run_id, registry=registry)
+        assert statuses[0].questions_done \
+            == plan.shard_questions(0)
+        assert statuses[1].questions_done == 0
+
+
+# ----------------------------------------------------------------------
+# Registry hardening (satellite)
+# ----------------------------------------------------------------------
+class TestRegistryHardening:
+    def test_orphan_dir_is_skipped_not_fatal(self, registry):
+        good = execute_run(RunRequest(**SMALL), registry=registry)
+        (registry.root / "half-created-run").mkdir(parents=True)
+        ids = registry.list_ids()
+        assert good.run_id in ids
+        assert "half-created-run" not in ids
+        assert [p.name for p in registry.orphan_dirs()] \
+            == ["half-created-run"]
+        assert [s.run_id for s in registry.list_runs()] \
+            == [good.run_id]
+
+    def test_corrupt_manifest_is_flagged_not_fatal(self, registry):
+        good = execute_run(RunRequest(**SMALL), registry=registry)
+        bad_dir = registry.root / "corrupt-run"
+        bad_dir.mkdir(parents=True)
+        registry.manifest_path("corrupt-run").write_text(
+            "{not json", encoding="utf-8")
+        summaries = {s.run_id: s for s in registry.list_runs()}
+        assert summaries[good.run_id].status == "finished"
+        assert summaries["corrupt-run"].status == "invalid"
+        assert summaries["corrupt-run"].dataset == "?"
+
+
+# ----------------------------------------------------------------------
+# Cache merge (satellite)
+# ----------------------------------------------------------------------
+class TestCacheMerge:
+    def test_merge_caches_first_writer_wins(self):
+        a, b = ResponseCache(), ResponseCache()
+        a.put("m", "p1", "from-a")
+        b.put("m", "p1", "from-b")
+        b.put("m", "p2", "only-b")
+        merged = merge_caches([a, b])
+        assert merged.get("m", "p1") == "from-a"
+        assert merged.get("m", "p2") == "only-b"
+
+    def test_merge_respects_capacity(self):
+        a = ResponseCache()
+        for i in range(10):
+            a.put("m", f"p{i}", f"r{i}")
+        merged = merge_caches([a], capacity=4)
+        assert len(merged.entries()) == 4
+
+    def test_sharded_run_folds_shard_caches(self, registry,
+                                            tmp_path):
+        cache_path = tmp_path / "shared-cache.json"
+        request = RunRequest(**SMALL, workers=2)
+        sharded = execute_run_sharded(
+            request, shards=2, registry=registry, procs=0,
+            cache_path=str(cache_path))
+        assert cache_path.exists()
+        merged = ResponseCache.load(cache_path)
+        assert len(merged.entries()) > 0
+        for shard in range(2):
+            shard_cache = registry.shard_cache_path(
+                sharded.run_id, shard)
+            assert shard_cache.exists()
+        again = merge_shard_caches(sharded.run_id, registry=registry,
+                                   target=str(cache_path))
+        assert len(again.entries()) == len(merged.entries())
+
+
+# ----------------------------------------------------------------------
+# Garbage collection (satellite)
+# ----------------------------------------------------------------------
+class TestGc:
+    def test_dry_run_reports_without_deleting(self, registry):
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=2,
+                                      registry=registry, procs=0)
+        shards_dir = registry.shards_dir(sharded.run_id)
+        report = gc_runs(registry=registry, dry_run=True,
+                         min_age_s=0.0)
+        assert report.dry_run
+        assert [c.reason for c in report.removed] == ["merged-shards"]
+        assert report.bytes_reclaimed > 0
+        assert shards_dir.is_dir()
+
+    def test_gc_prunes_merged_shards_and_orphans(self, registry):
+        sharded = execute_run_sharded(RunRequest(**SMALL), shards=2,
+                                      registry=registry, procs=0)
+        orphan = registry.root / "dead-create"
+        orphan.mkdir(parents=True)
+        (orphan / "junk.bin").write_bytes(b"x" * 64)
+        stale = registry.run_dir(sharded.run_id) / "merge.ledger.tmp"
+        stale.write_text("torn", encoding="utf-8")
+        report = gc_runs(registry=registry, min_age_s=0.0)
+        reasons = sorted(c.reason for c in report.removed)
+        assert reasons == ["merged-shards", "orphan-run", "stale-tmp"]
+        assert not registry.shards_dir(sharded.run_id).exists()
+        assert not orphan.exists()
+        assert not stale.exists()
+        # the merged run itself is untouched and still loads
+        assert load_run(sharded.run_id, registry=registry)
+
+    def test_gc_never_touches_unmerged_shards(self, registry):
+        from repro.dist import save_shard_plan
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        report = gc_runs(registry=registry, min_age_s=0.0)
+        assert report.removed == ()
+        assert registry.shards_dir(run_id).is_dir()
+
+    def test_min_age_protects_fresh_debris(self, registry):
+        orphan = registry.root / "fresh-create"
+        orphan.mkdir(parents=True)
+        report = gc_runs(registry=registry, min_age_s=3600.0)
+        assert report.removed == ()
+        assert orphan.exists()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliDist:
+    def _run(self, capsys, *argv):
+        code = main(list(argv))
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_sharded_run_then_inspect_merge_gc(self, capsys,
+                                               tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        out = self._run(capsys, "run", "--dataset", "mcq",
+                        "--models", "GPT-4", "--taxonomies", "ebay",
+                        "--sample", "6", "--seed", "cli",
+                        "--shards", "2", "--local-procs", "0",
+                        "--runs-dir", runs_dir)
+        assert "Sharded run (x2)" in out
+        run_id = RunRegistry(runs_dir).list_ids()[0]
+
+        out = self._run(capsys, "runs", "list", "--runs-dir",
+                        runs_dir)
+        assert "shards" in out and "finished" in out
+
+        out = self._run(capsys, "runs", "show", run_id,
+                        "--runs-dir", runs_dir)
+        assert "Shards (x2)" in out
+
+        out = self._run(capsys, "watch", run_id, "--once",
+                        "--runs-dir", runs_dir)
+        assert run_id in out
+
+        out = self._run(capsys, "runs", "merge", run_id,
+                        "--runs-dir", runs_dir)
+        assert f"Merged run {run_id}" in out
+
+        out = self._run(capsys, "runs", "gc", "--dry-run",
+                        "--min-age", "0", "--json",
+                        "--runs-dir", runs_dir)
+        report = json.loads(out)
+        assert report["dry_run"] is True
+        assert any(c["reason"] == "merged-shards"
+                   for c in report["removed"])
+
+    def test_watch_once_on_unmerged_run_shows_shards(self, capsys,
+                                                     tmp_path):
+        from repro.dist import save_shard_plan
+        registry = RunRegistry(tmp_path / "runs")
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        out = self._run(capsys, "watch", run_id, "--once",
+                        "--runs-dir", str(tmp_path / "runs"))
+        assert "[sharded x2]" in out
+        out = self._run(capsys, "watch", run_id, "--once", "--json",
+                        "--runs-dir", str(tmp_path / "runs"))
+        statuses = json.loads(out)
+        assert [s["shard"] for s in statuses] == [0, 1]
+
+    def test_cli_resume_routes_to_sharded(self, capsys, tmp_path):
+        from repro.dist import save_shard_plan
+        registry = RunRegistry(tmp_path / "runs")
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        out = self._run(capsys, "runs", "resume", run_id,
+                        "--local-procs", "0",
+                        "--runs-dir", str(tmp_path / "runs"))
+        assert f"Resumed sharded run {run_id}" in out
+        assert registry.summary(run_id).status == "finished"
+
+
+# ----------------------------------------------------------------------
+# Cross-cell integrity checks in the merge
+# ----------------------------------------------------------------------
+class TestMergeValidation:
+    def test_plan_size_mismatch_detected(self, registry):
+        from repro.dist import save_shard_plan
+        request = RunRequest(**SMALL)
+        run_id = registry.create(request, cells=8)
+        plan = plan_shards(request, 2)
+        save_shard_plan(registry, run_id, plan)
+        run_shard(run_id, 0, registry=registry, plan=plan)
+        run_shard(run_id, 1, registry=registry, plan=plan)
+        # corrupt the persisted plan: shrink one cell's n
+        payload = plan.to_dict()
+        payload["cells"][0]["n"] += 5
+        registry.shard_plan_path(run_id).write_text(
+            json.dumps(payload), encoding="utf-8")
+        with pytest.raises(RunError):
+            merge_run(run_id, registry=registry)
+
+    def test_cell_key_parse_round_trips_plan_cells(self):
+        plan = plan_shards(RunRequest(**SMALL), 2)
+        for cell_id, _ in plan.cells:
+            key = CellKey.parse(cell_id)
+            assert key is not None
+            assert key.cell_id == cell_id

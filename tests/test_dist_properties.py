@@ -1,0 +1,114 @@
+"""Property-based tests for the shard planner's two invariants.
+
+* every cell id :func:`repro.runs.driver.plan_cells` can emit parses
+  back to the same :class:`CellKey` (the merge depends on this to
+  rebuild typed results from ledger cell ids), and
+* :func:`repro.dist.planner.partition_tasks` is a disjoint exact
+  cover of its input for arbitrary task shapes and shard counts,
+  and a pure function of them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.paper_tables import MODEL_ORDER, TAXONOMY_ORDER
+from repro.llm.prompting import PromptSetting
+from repro.runs.driver import CellKey, plan_cells
+from repro.runs.request import RunRequest
+from repro.dist.planner import ShardTask, partition_tasks
+
+
+class _StubPools:
+    """Stands in for TaxonomyPools: only ``question_levels`` is read
+    by ``plan_cells`` (and only on per-level requests)."""
+
+    def __init__(self, levels):
+        self.question_levels = levels
+
+
+def _subset(values):
+    return st.lists(st.sampled_from(list(values)), min_size=1,
+                    max_size=len(list(values)), unique=True)
+
+
+run_requests = st.builds(
+    RunRequest,
+    dataset=st.sampled_from(["hard", "easy", "mcq"]),
+    models=_subset(MODEL_ORDER).map(tuple),
+    taxonomy_keys=_subset(TAXONOMY_ORDER).map(tuple),
+    settings=_subset([s.value for s in PromptSetting]).map(tuple),
+    sample_size=st.one_of(st.none(),
+                          st.integers(min_value=1, max_value=60)),
+    per_level=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(run_requests,
+       st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                max_size=4))
+def test_cell_key_parse_round_trips_every_planned_cell(request,
+                                                       levels):
+    pools = {key: _StubPools(sorted(set(levels)))
+             for key in request.taxonomy_keys}
+    cells = plan_cells(request, pools)
+    assert cells, "every request plans at least one cell"
+    assert len(set(cells)) == len(cells)
+    for cell in cells:
+        parsed = CellKey.parse(cell.cell_id)
+        assert parsed == cell
+        assert parsed.cell_id == cell.cell_id
+
+
+@st.composite
+def task_lists(draw):
+    """Arbitrary single-cell task lists (full ranges, like the
+    planner's input) over distinct synthetic cells."""
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=200),
+                          min_size=1, max_size=12))
+    return [ShardTask(cell=CellKey(model=f"m{index}",
+                                   taxonomy_key="tax",
+                                   dataset="hard",
+                                   setting="zero-shot", level=None),
+                      start=0, stop=size, n=size)
+            for index, size in enumerate(sizes)]
+
+
+@settings(max_examples=120, deadline=None)
+@given(task_lists(), st.integers(min_value=1, max_value=24))
+def test_partition_is_disjoint_exact_cover(tasks, shards):
+    plan = partition_tasks(tasks, shards)
+    assert len(plan) == shards
+    covered = {task.cell.cell_id: set() for task in tasks}
+    for shard in plan:
+        for piece in shard:
+            indices = set(piece.indices)
+            assert not covered[piece.cell.cell_id] & indices, \
+                "shards overlap"
+            covered[piece.cell.cell_id] |= indices
+    for task in tasks:
+        assert covered[task.cell.cell_id] == set(task.indices), \
+            "shards leave a hole"
+
+
+@settings(max_examples=60, deadline=None)
+@given(task_lists(), st.integers(min_value=1, max_value=24))
+def test_partition_is_deterministic(tasks, shards):
+    first = partition_tasks(tasks, shards)
+    second = partition_tasks(list(tasks), shards)
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(task_lists(), st.integers(min_value=2, max_value=8))
+def test_partition_never_idles_a_shard_needlessly(tasks, shards):
+    """No shard sits empty while another holds more than one chunk
+    (the planner halves the largest chunks until K shards can eat)."""
+    plan = partition_tasks(tasks, shards)
+    total = sum(task.size for task in tasks)
+    empty = sum(1 for shard in plan if not shard)
+    if total >= shards:
+        chunky = sum(1 for shard in plan if len(shard) > 1)
+        assert empty == 0 or chunky == 0
