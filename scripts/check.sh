@@ -12,6 +12,9 @@ python -m pytest -x -q
 echo "== engine throughput smoke =="
 python benchmarks/bench_engine_throughput.py
 
+echo "== engine batching smoke (speedup + exact-calls + identity gates) =="
+python benchmarks/bench_engine_batching.py
+
 echo "== dataset pipeline smoke =="
 python benchmarks/bench_dataset_build.py --smoke
 

@@ -176,6 +176,15 @@ def _parser() -> argparse.ArgumentParser:
     engine_stats.add_argument("--taxonomy", default="ebay",
                               choices=list(TAXONOMY_ORDER))
     engine_stats.add_argument("--sample", type=int, default=60)
+    engine_stats.add_argument(
+        "--pool-replicas", type=int, default=1, metavar="N",
+        help="serve the cell through a BackendPool of N "
+             "response-equivalent replicas of the model (1 = no "
+             "pool)")
+    engine_stats.add_argument(
+        "--hedge-delay", type=float, default=None, metavar="SECONDS",
+        help="hedge a slow pool call onto the next replica after "
+             "this many seconds (requires --pool-replicas >= 2)")
     _add_engine_options(engine_stats)
 
     run = commands.add_parser(
@@ -398,16 +407,33 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--cache", default=None, metavar="PATH",
                          help="persist the response cache as JSON at "
                               "PATH (loaded first if it exists)")
+    command.add_argument("--batch-size", type=int, default=1,
+                         metavar="N",
+                         help="group up to N concurrent prompts into "
+                              "one backend generate_batch call (1 = "
+                              "per-prompt)")
+    command.add_argument("--batch-linger", type=float, default=0.002,
+                         metavar="SECONDS",
+                         help="how long a short batch waits for "
+                              "company before flushing")
+    command.add_argument("--coalesce", action="store_true",
+                         help="identical in-flight prompts share one "
+                              "backend call (the cache only helps "
+                              "completed calls)")
 
 
 def _build_engine(args: argparse.Namespace) -> EvaluationEngine:
-    """An engine from the shared --workers/--retries/--cache flags."""
+    """An engine from the shared --workers/--retries/--cache flags
+    (plus the batching/coalescing knobs when present)."""
     cache = None
     if args.cache and os.path.exists(args.cache):
         cache = ResponseCache.load(args.cache)
-    config = EngineConfig(max_workers=max(1, args.workers),
-                          retry=RetryPolicy(retries=max(0,
-                                                        args.retries)))
+    config = EngineConfig(
+        max_workers=max(1, args.workers),
+        retry=RetryPolicy(retries=max(0, args.retries)),
+        batch_size=max(1, getattr(args, "batch_size", 1)),
+        batch_linger_s=max(0.0, getattr(args, "batch_linger", 0.002)),
+        coalesce=bool(getattr(args, "coalesce", False)))
     return EvaluationEngine(config, cache=cache)
 
 
@@ -557,7 +583,24 @@ def _cmd_engine_stats(args: argparse.Namespace) -> str:
     pool = build_pools(
         args.taxonomy,
         sample_size=args.sample).total_pool(Kind.HARD)
-    result = runner.evaluate(get_model(args.model), pool)
+    model = get_model(args.model)
+    backend_pool = None
+    if args.pool_replicas > 1:
+        from repro.engine.pool import BackendPool
+        # Replicas of one simulated model are response-equivalent by
+        # construction, so hedged/fallback dispatch cannot change a
+        # record — only the telemetry shows it happened.
+        backend_pool = BackendPool(
+            [get_model(args.model)
+             for _ in range(args.pool_replicas)],
+            hedge_delay_s=args.hedge_delay,
+            telemetry=engine.telemetry, tracer=engine.tracer)
+        model = backend_pool
+    try:
+        result = runner.evaluate(model, pool)
+    finally:
+        if backend_pool is not None:
+            backend_pool.close()
     _persist_cache(engine, args)
     return format_engine_stats(
         engine.stats(),
@@ -607,6 +650,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
         per_level=args.per_level,
         workers=max(1, args.workers),
         retries=max(0, args.retries),
+        batch_size=max(1, args.batch_size),
+        coalesce=args.coalesce,
     )
     if args.shards > 0:
         result = execute_run_sharded(
@@ -616,7 +661,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
             result,
             title=f"Sharded run (x{args.shards}) on {args.dataset} "
                   f"datasets")
-    engine = _build_engine(args) if args.workers > 1 else None
+    engine = (_build_engine(args)
+              if args.workers > 1 or args.batch_size > 1
+              or args.coalesce else None)
     result = execute_run(request, registry=_registry(args),
                          engine=engine)
     if engine is not None:
@@ -765,7 +812,9 @@ def _cmd_runs_resume(args: argparse.Namespace) -> str:
                                     cache_path=args.cache)
         return _run_result_report(
             result, title=f"Resumed sharded run {args.run_id}")
-    engine = _build_engine(args) if args.workers > 1 else None
+    engine = (_build_engine(args)
+              if args.workers > 1 or args.batch_size > 1
+              or args.coalesce else None)
     result = resume_run(args.run_id, registry=registry,
                         engine=engine)
     if engine is not None:

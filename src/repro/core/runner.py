@@ -9,8 +9,11 @@ real API client and nothing here changes.
 A runner can optionally carry a
 :class:`repro.engine.EvaluationEngine`: every ``evaluate*`` call then
 fans out over the engine's worker pool behind its middleware stack
-(cache, retry, rate limit, timeout).  Records come back in question
-order either way, so the engine path yields bit-identical metrics.
+(coalesce, cache, retry, rate limit, timeout, batch).  Records come
+back in question order either way — the batching layer groups
+concurrent prompts into ``generate_batch`` calls *underneath* the
+per-question fan-out, so the engine path yields bit-identical metrics
+at any worker count, batch size, or coalescing setting.
 
 A runner can also carry a ``ledger`` sink (duck-typed; see
 :class:`repro.runs.ledger.RunLedger`): each ``evaluate`` call then

@@ -142,12 +142,15 @@ def _shard_engine(request, cache: ResponseCache | None
     explicit cache instance when the run is cache-backed (each shard's
     cache is its own object persisted to its own file — no shared
     mutable state crosses a process boundary)."""
-    if request.workers <= 1 and cache is None:
+    if (request.workers <= 1 and cache is None
+            and request.batch_size <= 1 and not request.coalesce):
         return None
     config = EngineConfig(
         max_workers=max(1, request.workers),
         retry=RetryPolicy(retries=max(0, request.retries)),
-        cache=cache is not None)
+        cache=cache is not None,
+        batch_size=request.batch_size,
+        coalesce=request.coalesce)
     return EvaluationEngine(config, cache=cache)
 
 

@@ -1,19 +1,28 @@
 """Execution engine: concurrent, fault-tolerant evaluation at scale.
 
 The production layer between the experiment drivers and the
-``ChatModel`` backends.  Four cooperating pieces:
+``ChatModel`` backends.  Six cooperating pieces:
 
 * ``scheduler`` — :class:`EvaluationEngine`, a bounded thread pool
   that preserves deterministic record ordering (metrics bit-identical
-  to the sequential runner at any worker count);
+  to the sequential runner at any worker count, batch size, or
+  coalescing setting);
 * ``middleware`` — composable resilience wrappers (retry with
   deterministic exponential backoff, per-call timeout, token-bucket
   rate limiting, deterministic fault injection for tests);
+* ``batching`` — :class:`BatchingModel` groups concurrent prompts
+  into ``generate_batch`` calls under a linger deadline,
+  :class:`CoalescingModel` makes identical in-flight prompts share
+  one call, and :class:`AdaptiveLimiter` applies AIMD concurrency
+  control over batch dispatch;
+* ``pool`` — :class:`BackendPool`, response-equivalent backends with
+  health tracking, deterministic fallback, and hedged dispatch;
 * ``cache`` — a content-addressed response cache keyed on
   ``(model, prompt)`` with JSON persistence, so reruns only pay for
   cold cells;
-* ``telemetry`` — per-call latency, retries, cache traffic and worker
-  utilization aggregated into :class:`EngineStats`.
+* ``telemetry`` — per-call latency, retries, cache traffic, batches,
+  coalesced/hedged calls and worker utilization aggregated into
+  :class:`EngineStats`.
 
 Quickstart::
 
@@ -26,12 +35,15 @@ Quickstart::
     True
 """
 
+from repro.engine.batching import (AdaptiveLimiter, BatchingModel,
+                                   CoalescingModel, close_model_stack)
 from repro.engine.cache import CachedModel, ResponseCache
 from repro.engine.config import EngineConfig, RetryPolicy
 from repro.engine.middleware import (FaultInjectingModel,
                                      RateLimitedModel, RetryingModel,
                                      TimeoutModel, TokenBucket,
                                      backoff_delay)
+from repro.engine.pool import BackendPool
 from repro.engine.scheduler import EvaluationEngine
 from repro.engine.telemetry import EngineStats, Telemetry
 
@@ -48,5 +60,10 @@ __all__ = [
     "RateLimitedModel",
     "TokenBucket",
     "FaultInjectingModel",
+    "BatchingModel",
+    "CoalescingModel",
+    "AdaptiveLimiter",
+    "BackendPool",
+    "close_model_stack",
     "backoff_delay",
 ]

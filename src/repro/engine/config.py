@@ -44,8 +44,9 @@ class EngineConfig:
     Args:
         max_workers: Worker threads; 1 reproduces the sequential path.
         max_in_flight: Bound on submitted-but-unfinished calls (0
-            means ``2 * max_workers``), so a huge pool never floods
-            the executor queue.
+            means ``2 * max_workers``, widened to ``2 * batch_size``
+            under batching so batches can actually fill), so a huge
+            pool never floods the executor queue.
         retry: Backoff policy for transient faults; ``None`` disables
             retrying entirely.
         timeout: Per-call time budget in seconds (``None`` = none).
@@ -54,6 +55,19 @@ class EngineConfig:
         cache: Whether responses are memoized on (model, prompt).
         cache_capacity: LRU bound on cached entries (``None`` =
             unbounded).
+        batch_size: Maximum prompts grouped into one backend
+            ``generate_batch`` call (1 disables the batching layer
+            and reproduces the per-prompt path exactly).
+        batch_linger_s: How long a pending batch waits for company
+            before being flushed short — the classic dynamic-batching
+            deadline.  Bounds the latency a prompt can pay for
+            batching; 0 flushes on the next dispatcher tick.
+        coalesce: Whether identical *in-flight* prompts share one
+            backend call (distinct from the response cache, which
+            only serves calls that already completed).
+        adaptive: AIMD concurrency control over batch dispatch —
+            additive increase per successful batch, multiplicative
+            backoff on transient faults and timeouts.
     """
 
     max_workers: int = 1
@@ -64,6 +78,10 @@ class EngineConfig:
     burst: int = 8
     cache: bool = True
     cache_capacity: int | None = None
+    batch_size: int = 1
+    batch_linger_s: float = 0.002
+    coalesce: bool = False
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -76,10 +94,20 @@ class EngineConfig:
             raise ValueError("rate must be positive")
         if self.burst < 1:
             raise ValueError("burst must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.batch_linger_s < 0:
+            raise ValueError("batch_linger_s must be non-negative")
 
     @property
     def in_flight_window(self) -> int:
-        """Effective bound on concurrently submitted calls."""
+        """Effective bound on concurrently submitted calls.
+
+        Under batching the default widens to twice the batch size:
+        batches fill from submitted-but-unfinished items, so a window
+        narrower than ``batch_size`` could never produce a full
+        batch.
+        """
         if self.max_in_flight:
             return max(self.max_in_flight, self.max_workers)
-        return 2 * self.max_workers
+        return max(2 * self.max_workers, 2 * self.batch_size)

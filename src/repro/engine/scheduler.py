@@ -2,17 +2,25 @@
 
 ``EvaluationEngine`` sits between the experiment drivers and the
 ``ChatModel`` backends.  Given a model and a list of work items it (1)
-wraps the model in the configured middleware stack (cache → retry →
-rate limit → timeout, see ``engine.middleware``), then (2) fans the
-per-item calls out over a ``ThreadPoolExecutor`` with a bounded
-in-flight window, collecting results **by submission index** — the
-result list is byte-for-byte the one the sequential loop produces, so
-every metric downstream is bit-identical regardless of worker count.
+wraps the model in the configured middleware stack (coalesce → cache →
+retry → rate limit → timeout → batch, see ``engine.middleware`` and
+``engine.batching``), then (2) fans the per-item calls out over a
+``ThreadPoolExecutor`` with a bounded in-flight window, collecting
+results **by submission index** — the result list is byte-for-byte the
+one the sequential loop produces, so every metric downstream is
+bit-identical regardless of worker count, batch size, coalescing or
+hedging setting.
 
 Threads (not processes) are the right pool here: real endpoint calls
 are network-bound and the simulated backends release the GIL whenever
 they sleep, so wall-clock scales with workers while all state stays
-shared (one cache, one telemetry, one rate limiter).
+shared (one cache, one telemetry, one rate limiter).  Under batching
+the pool is *wider* than ``max_workers``: batches fill from prompts
+whose worker threads are concurrently parked inside the batching
+dispatcher, so the thread count must cover the in-flight window —
+parked threads cost almost nothing, and the backend concurrency is
+governed by the batch dispatch (and the AIMD limiter), not the pool
+width.
 """
 
 from __future__ import annotations
@@ -23,13 +31,17 @@ from concurrent.futures import (FIRST_COMPLETED, ThreadPoolExecutor,
                                 wait)
 from typing import Any, TypeVar
 
+from repro.engine.batching import (AdaptiveLimiter, BatchingModel,
+                                   CoalescingModel, close_model_stack)
 from repro.engine.cache import CachedModel, ResponseCache
 from repro.engine.config import EngineConfig
 from repro.engine.middleware import (Clock, RateLimitedModel,
                                      RetryingModel, TimeoutModel,
                                      TokenBucket)
 from repro.engine.telemetry import EngineStats, Telemetry
-from repro.llm.base import ChatModel
+from repro.llm.base import (ChatModel, async_batch_fn,
+                            call_generate_batch,
+                            supports_generate_batch)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 R = TypeVar("R")
@@ -46,6 +58,28 @@ class _CountingModel:
         self.name = inner.name
         self._telemetry = telemetry
         self._tracer = tracer
+        # Re-export the backend's batch entry points so the batching
+        # dispatcher can still negotiate them through this wrapper —
+        # and ONLY then: advertising generate_batch over a per-prompt
+        # backend would turn the batcher's per-prompt fault isolation
+        # into all-or-nothing batch failures.
+        inner_async = async_batch_fn(inner)
+        if inner_async is not None:
+            async def agenerate_batch(
+                    prompts: Sequence[str]) -> list[str]:
+                self._telemetry.record_call(n=len(prompts))
+                with self._tracer.span("model_call", model=self.name,
+                                       n=len(prompts)):
+                    return await inner_async(prompts)
+            self.agenerate_batch = agenerate_batch
+        if supports_generate_batch(inner):
+            def generate_batch(
+                    prompts: Sequence[str]) -> list[str]:
+                self._telemetry.record_call(n=len(prompts))
+                with self._tracer.span("model_call", model=self.name,
+                                       n=len(prompts)):
+                    return call_generate_batch(self.inner, prompts)
+            self.generate_batch = generate_batch
 
     def generate(self, prompt: str) -> str:
         self._telemetry.record_call()
@@ -91,9 +125,31 @@ class EvaluationEngine:
 
     # ------------------------------------------------------------------
     def wrap(self, model: ChatModel) -> ChatModel:
-        """Apply the middleware stack (documented order) to a model."""
+        """Apply the middleware stack (documented order) to a model.
+
+        Outermost to innermost: coalesce → cache → retry → rate limit
+        → timeout → batch → counting → backend.  The coalescer sits
+        *outside* the cache so that when a leader returns, its
+        response is already cached — a duplicate can never slip
+        between the leader finishing and the cache learning the
+        value, which is what makes "one backend call per unique
+        prompt" exact rather than probabilistic.  It also sits
+        outside retry, so followers receive the leader's post-retry
+        result (a transient fault is absorbed once, not once per
+        waiter).  The batcher sits *inside* timeout so a call's
+        budget covers linger plus batch service — configure
+        ``timeout`` comfortably above ``batch_linger_s``.
+        """
         wrapped: ChatModel = _CountingModel(model, self.telemetry,
                                             tracer=self.tracer)
+        if self.config.batch_size > 1:
+            limiter = (AdaptiveLimiter() if self.config.adaptive
+                       else None)
+            wrapped = BatchingModel(
+                wrapped, self.config.batch_size,
+                linger_s=self.config.batch_linger_s,
+                telemetry=self.telemetry, tracer=self.tracer,
+                limiter=limiter)
         if self.config.timeout is not None:
             wrapped = TimeoutModel(wrapped, self.config.timeout)
         if self.config.rate is not None:
@@ -108,6 +164,10 @@ class EvaluationEngine:
             wrapped = CachedModel(wrapped, self.cache,
                                   telemetry=self.telemetry,
                                   tracer=self.tracer)
+        if self.config.coalesce:
+            wrapped = CoalescingModel(wrapped,
+                                      telemetry=self.telemetry,
+                                      tracer=self.tracer)
         return wrapped
 
     def run(self, model: ChatModel, items: Sequence[Any],
@@ -130,6 +190,13 @@ class EvaluationEngine:
         wrapped = self.wrap(model)
         work = list(items)
         workers = max(1, min(self.config.max_workers, len(work)))
+        if self.config.batch_size > 1 and len(work) > 1:
+            # Batches fill from *concurrent* generate() callers, so
+            # the pool must span the in-flight window — parked
+            # threads are cheap, and backend concurrency is governed
+            # by batch dispatch, not pool width.
+            workers = max(workers, min(self.config.in_flight_window,
+                                       len(work)))
         started = self._clock()
         try:
             if workers == 1:
@@ -142,6 +209,7 @@ class EvaluationEngine:
                 return results
             return self._fan_out(wrapped, work, fn, workers, on_result)
         finally:
+            close_model_stack(wrapped)
             self.telemetry.record_run(self._clock() - started, workers)
 
     def stats(self) -> EngineStats:
@@ -192,8 +260,11 @@ class EvaluationEngine:
                             on_result(index, results[index])
                         submit_next()
             except BaseException:
-                for future in pending:
-                    future.cancel()
+                # One shutdown call beats a per-future cancel loop:
+                # it also drops queued-but-unstarted work the loop
+                # could race against, so a poisoned item aborts the
+                # run promptly instead of draining the whole queue.
+                pool.shutdown(wait=False, cancel_futures=True)
                 raise
         return results
 

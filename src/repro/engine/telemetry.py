@@ -28,6 +28,10 @@ CACHE_MISSES = "repro_engine_cache_misses_total"
 WALL_SECONDS = "repro_engine_wall_seconds_total"
 WORKERS = "repro_engine_workers"
 LATENCY = "repro_engine_question_latency_seconds"
+BATCHES = "repro_engine_batches_total"
+COALESCED = "repro_engine_coalesced_total"
+HEDGES = "repro_engine_hedged_total"
+ADAPTIVE_HIGH_WATER = "repro_engine_adaptive_limit_high_water"
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,6 +45,15 @@ class EngineStats:
     worker computed the whole time.  The ``latency_*`` fields come
     from the per-question latency histogram: bucket-interpolated
     quantiles, exact extremes.
+
+    The batched-engine fields all default to zero so snapshots
+    persisted before the batching core existed — and engines run
+    without it — decode and compare unchanged: ``batches`` counts
+    backend ``generate_batch`` dispatches, ``coalesced`` counts
+    prompts that piggybacked on an identical in-flight call,
+    ``hedged`` counts hedge requests a :class:`BackendPool` launched,
+    and ``adaptive_high_water`` is the AIMD concurrency window's
+    high-water mark.
     """
 
     records: int
@@ -58,6 +71,10 @@ class EngineStats:
     latency_p99_s: float = 0.0
     latency_min_s: float = 0.0
     latency_max_s: float = 0.0
+    batches: int = 0
+    coalesced: int = 0
+    hedged: int = 0
+    adaptive_high_water: int = 0
 
     @property
     def mean_latency_s(self) -> float:
@@ -106,14 +123,19 @@ class EngineStats:
             "latency_p99_s": self.latency_p99_s,
             "latency_min_s": self.latency_min_s,
             "latency_max_s": self.latency_max_s,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "hedged": self.hedged,
+            "adaptive_high_water": self.adaptive_high_water,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EngineStats":
         """Rebuild a snapshot persisted by :meth:`to_dict`.
 
-        The histogram fields default to 0.0 so ledgers written before
-        they existed still load.
+        The histogram fields default to 0.0 — and the batched-engine
+        counters to 0 — so ledgers written before they existed still
+        load.
         """
         stats = {key: payload[key] for key in (
             "records", "calls", "retries", "faults", "timeouts",
@@ -122,6 +144,9 @@ class EngineStats:
         for key in ("latency_p50_s", "latency_p90_s", "latency_p99_s",
                     "latency_min_s", "latency_max_s"):
             stats[key] = float(payload.get(key, 0.0))
+        for key in ("batches", "coalesced", "hedged",
+                    "adaptive_high_water"):
+            stats[key] = int(payload.get(key, 0))
         return cls(**stats)
 
     def as_row(self) -> dict[str, object]:
@@ -135,6 +160,10 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": f"{self.cache_hit_rate:.3f}",
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "hedged": self.hedged,
+            "adaptive_hw": self.adaptive_high_water,
             "workers": self.workers,
             "wall_s": f"{self.wall_time_s:.3f}",
             "q_per_s": f"{self.throughput:.1f}",
@@ -172,12 +201,20 @@ class Telemetry:
         self._workers = r.gauge(WORKERS, "peak worker threads")
         self._latency = r.histogram(
             LATENCY, "per-question worker seconds")
+        self._batches = r.counter(
+            BATCHES, "backend generate_batch dispatches")
+        self._coalesced = r.counter(
+            COALESCED, "prompts sharing an identical in-flight call")
+        self._hedges = r.counter(
+            HEDGES, "hedge requests launched by a backend pool")
+        self._adaptive_hw = r.gauge(
+            ADAPTIVE_HIGH_WATER, "AIMD concurrency window high water")
 
     # ------------------------------------------------------------------
     # Recording (called from worker threads)
     # ------------------------------------------------------------------
-    def record_call(self) -> None:
-        self._calls.add(1)
+    def record_call(self, n: int = 1) -> None:
+        self._calls.add(n)
 
     def record_retry(self) -> None:
         self._retries.add(1)
@@ -203,6 +240,22 @@ class Telemetry:
         self._wall.add(wall_time_s)
         self._workers.set_max(workers)
 
+    def record_batch(self, size: int) -> None:
+        """One ``generate_batch`` dispatch of ``size`` prompts."""
+        self._batches.add(1)
+
+    def record_coalesced(self) -> None:
+        """One prompt served by an identical in-flight call."""
+        self._coalesced.add(1)
+
+    def record_hedge(self) -> None:
+        """One hedge request launched by a backend pool."""
+        self._hedges.add(1)
+
+    def record_adaptive_limit(self, limit: float) -> None:
+        """Track the AIMD window's high-water mark."""
+        self._adaptive_hw.set_max(int(limit))
+
     # ------------------------------------------------------------------
     def snapshot(self) -> EngineStats:
         """Freeze the registry into an immutable stats value."""
@@ -222,6 +275,10 @@ class Telemetry:
             latency_p99_s=self._latency.quantile(0.99),
             latency_min_s=self._latency.min,
             latency_max_s=self._latency.max,
+            batches=int(self._batches.value),
+            coalesced=int(self._coalesced.value),
+            hedged=int(self._hedges.value),
+            adaptive_high_water=int(self._adaptive_hw.value),
         )
 
     def reset(self) -> None:

@@ -62,6 +62,11 @@ class HistoryEntry:
     cache_hit_rate: float
     retries: int = 0
     faults: int = 0
+    #: Batched-engine counters (0 on runs and ledgers that predate
+    #: the batching core — the schema is backward-compatible).
+    batches: int = 0
+    coalesced: int = 0
+    hedged: int = 0
     #: Shard fan-out the run executed with (1 = single process), so
     #: check baselines recorded at different fan-outs stay
     #: distinguishable even though their metrics must be identical.
@@ -86,6 +91,9 @@ class HistoryEntry:
             "cache_hit_rate": self.cache_hit_rate,
             "retries": self.retries,
             "faults": self.faults,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "hedged": self.hedged,
             "shards": self.shards,
             "cell_accuracy": dict(self.cell_accuracy),
         }
@@ -109,6 +117,9 @@ class HistoryEntry:
                                                  0.0)),
                 retries=int(payload.get("retries", 0)),
                 faults=int(payload.get("faults", 0)),
+                batches=int(payload.get("batches", 0)),
+                coalesced=int(payload.get("coalesced", 0)),
+                hedged=int(payload.get("hedged", 0)),
                 shards=int(payload.get("shards", 1)),
                 cell_accuracy={
                     str(cell): float(acc)
@@ -135,6 +146,9 @@ class HistoryEntry:
             "p50_ms": f"{self.latency_p50_s * 1e3:.2f}",
             "p99_ms": f"{self.latency_p99_s * 1e3:.2f}",
             "hit_rate": f"{self.cache_hit_rate:.3f}",
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "hedged": self.hedged,
         }
 
 
@@ -172,6 +186,9 @@ def entry_from_result(run_id: str, dataset: str,
         cache_hit_rate=(stats.cache_hit_rate if stats else 0.0),
         retries=(stats.retries if stats else 0),
         faults=(stats.faults if stats else 0),
+        batches=(getattr(stats, "batches", 0) if stats else 0),
+        coalesced=(getattr(stats, "coalesced", 0) if stats else 0),
+        hedged=(getattr(stats, "hedged", 0) if stats else 0),
         shards=max(1, shards),
         cell_accuracy={cell_id: metrics.accuracy
                        for cell_id, metrics

@@ -160,11 +160,20 @@ def _pool_for(cell: CellKey, pools: dict[str, object]) -> QuestionPool:
 
 
 def _build_engine(request: RunRequest) -> EvaluationEngine | None:
-    if request.workers <= 1:
+    """Engine matching the request's shape (``None`` = sequential).
+
+    Batching or coalescing forces an engine even at one worker — both
+    live in the engine's middleware stack, and the batched path needs
+    the engine's widened fan-out pool to fill batches.
+    """
+    if (request.workers <= 1 and request.batch_size <= 1
+            and not request.coalesce):
         return None
     config = EngineConfig(
         max_workers=request.workers,
-        retry=RetryPolicy(retries=max(0, request.retries)))
+        retry=RetryPolicy(retries=max(0, request.retries)),
+        batch_size=request.batch_size,
+        coalesce=request.coalesce)
     return EvaluationEngine(config)
 
 

@@ -50,6 +50,8 @@ class RunRequest:
     per_level: bool = False
     workers: int = 1
     retries: int = 3
+    batch_size: int = 1
+    coalesce: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in {kind.value for kind in DatasetKind}:
@@ -62,6 +64,8 @@ class RunRequest:
             raise RunError("a run needs >= 1 model and >= 1 taxonomy")
         if self.workers < 1:
             raise RunError("workers must be at least 1")
+        if self.batch_size < 1:
+            raise RunError("batch_size must be at least 1")
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +87,8 @@ class RunRequest:
             f"per_level={int(self.per_level)}",
             f"workers={self.workers}",
             f"retries={self.retries}",
+            f"batch={self.batch_size}",
+            f"coalesce={int(self.coalesce)}",
         ))
         return hashlib.sha256(material.encode()).hexdigest()[:24]
 
@@ -99,6 +105,8 @@ class RunRequest:
             "per_level": self.per_level,
             "workers": self.workers,
             "retries": self.retries,
+            "batch_size": self.batch_size,
+            "coalesce": self.coalesce,
         }
 
     @classmethod
@@ -115,11 +123,19 @@ class RunRequest:
                 per_level=payload.get("per_level", False),
                 workers=payload.get("workers", 1),
                 retries=payload.get("retries", 3),
+                batch_size=payload.get("batch_size", 1),
+                coalesce=payload.get("coalesce", False),
             )
         except (KeyError, TypeError) as exc:
             raise RunError(
                 f"malformed run-request payload: {exc}") from exc
 
-    def with_engine(self, workers: int, retries: int) -> "RunRequest":
+    def with_engine(self, workers: int, retries: int,
+                    batch_size: int | None = None,
+                    coalesce: bool | None = None) -> "RunRequest":
         """The same sweep under a different engine shape (resume)."""
-        return replace(self, workers=workers, retries=retries)
+        return replace(
+            self, workers=workers, retries=retries,
+            batch_size=(self.batch_size if batch_size is None
+                        else batch_size),
+            coalesce=self.coalesce if coalesce is None else coalesce)

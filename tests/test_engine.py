@@ -123,6 +123,34 @@ class TestParity:
             engine.run(Exploding(), list(range(32)),
                        lambda model, item: model.generate("x"))
 
+    def test_poisoned_first_item_aborts_promptly(self):
+        """A failure at index 0 must not strand queued-but-unstarted
+        work: the pool shuts down with its queue cancelled, so only
+        the already-running in-flight window can still execute."""
+        executed: list[int] = []
+        lock = threading.Lock()
+
+        def fn(_model, item: int) -> int:
+            with lock:
+                executed.append(item)
+            if item == 0:
+                raise ValueError("poisoned")
+            import time
+            time.sleep(0.05)        # others are slow, not failing
+            return item
+
+        engine = EvaluationEngine(
+            EngineConfig(max_workers=8, retry=None, cache=False))
+        import time
+        started = time.perf_counter()
+        with pytest.raises(ValueError, match="poisoned"):
+            engine.run(EchoModel(), list(range(64)), fn)
+        elapsed = time.perf_counter() - started
+        # Sequential drain of 64 slow items would take >= 3 seconds;
+        # a prompt abort only waits out the in-flight window.
+        assert elapsed < 1.5
+        assert len(executed) < 64
+
 
 # ----------------------------------------------------------------------
 # Middleware units
