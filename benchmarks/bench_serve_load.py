@@ -1,0 +1,247 @@
+"""Bench SERVE — SSE fan-out load gate (run alone vs. run + N viewers).
+
+Executes the identical ledgered sweep — a sleep-backed model standing
+in for a network endpoint — twice: once undisturbed, and once while
+``CLIENTS`` concurrent HTTP clients stream the run live over the
+:class:`repro.serve.ReproServer` SSE endpoint.  Because the server
+fans a *single* :class:`repro.obs.LedgerFollower` out to every
+subscriber, the read pressure on the run is independent of the
+audience size; the gate asserts the served run costs at most 5%
+extra wall time plus a small absolute floor, and that the p99
+snapshot delivery latency (broadcast timestamp to client receipt)
+stays under budget.  Every client's final streamed snapshot must be
+bit-identical to its peers' and converged to the post-hoc ledger
+state.
+
+A machine-readable summary is written to
+``benchmarks/.artifacts/serve_load_stats.json`` (uploaded by CI).
+
+Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.runs import RunRegistry, RunRequest, create_run, \
+    execute_run
+from repro.serve import DEFAULT_TENANT, ReproServer
+
+#: Concurrent SSE viewers on the one live run.
+CLIENTS = 8
+#: Maximum allowed slowdown of a served run vs. an unwatched one.
+OVERHEAD_BUDGET = 0.05
+#: Absolute slack (seconds) so short smoke runs tolerate OS jitter.
+ABSOLUTE_SLACK_S = 0.020
+#: Ceiling on the p99 broadcast-to-client snapshot latency.
+P99_LATENCY_BUDGET_S = 0.5
+#: Hub poll cadence — far harder than the 0.25 s serving default, so
+#: the gate is conservative.
+POLL_INTERVAL_S = 0.02
+
+ARTIFACT = Path(__file__).parent / ".artifacts" / \
+    "serve_load_stats.json"
+
+
+class _SleepingModel(BaseChatModel):
+    """GPT-4 answers behind a fixed GIL-releasing sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+def _stream(url: str, latencies: list[float],
+            finals: list[str], slot: int,
+            connected: threading.Event) -> None:
+    """One SSE viewer: collect delivery latencies + final snapshot."""
+    request = urllib.request.Request(url)
+    last = None
+    with urllib.request.urlopen(request, timeout=120) as response:
+        connected.set()
+        kind, data = None, None
+        for line in response:
+            line = line.decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue
+            if line.startswith("event: "):
+                kind = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = line[len("data: "):]
+            elif not line:
+                if kind == "snapshot":
+                    received = time.time()
+                    last = data
+                    latencies.append(
+                        received - json.loads(data)["ts"])
+                if kind == "done":
+                    break
+                kind, data = None, None
+    finals[slot] = last
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_alone(request: RunRequest, registry: RunRegistry,
+               latency_s: float) -> float:
+    run_id = create_run(request, registry=registry)
+    started = time.perf_counter()
+    execute_run(request, registry=registry, run_id=run_id,
+                resolve_model=lambda _name: _SleepingModel(latency_s))
+    return time.perf_counter() - started
+
+
+def _run_served(request: RunRequest, server: ReproServer,
+                latency_s: float) -> dict[str, object]:
+    """One run with ``CLIENTS`` live SSE viewers attached."""
+    registry = server.registry_for(DEFAULT_TENANT)
+    run_id = create_run(request, registry=registry)
+    url = f"{server.url}/runs/{run_id}/events"
+    latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+    finals: list[str] = [None] * CLIENTS
+    connected = [threading.Event() for _ in range(CLIENTS)]
+    viewers = [threading.Thread(target=_stream,
+                                args=(url, latencies[slot], finals,
+                                      slot, connected[slot]))
+               for slot in range(CLIENTS)]
+    for viewer in viewers:
+        viewer.start()
+    # Time the steady state: every viewer is attached before the run
+    # starts, so the measurement is pure fan-out pressure, not
+    # connection setup.
+    for event in connected:
+        assert event.wait(timeout=30), "a viewer never connected"
+    started = time.perf_counter()
+    result = execute_run(
+        request, registry=registry, run_id=run_id,
+        resolve_model=lambda _name: _SleepingModel(latency_s))
+    elapsed = time.perf_counter() - started
+    for viewer in viewers:
+        viewer.join(timeout=120)
+    assert all(final is not None for final in finals), \
+        "a viewer never received a snapshot"
+    assert len(set(finals)) == 1, \
+        "viewers' final snapshots are not bit-identical"
+    final = json.loads(finals[0])
+    expected = sum(cell.metrics.n for cell in result.cells.values())
+    assert final["finished"] and final["status"] == "finished", \
+        "streamed final snapshot did not converge to finished"
+    assert final["questions_done"] == expected, (
+        f"viewers saw {final['questions_done']} questions, "
+        f"ledger holds {expected}")
+    return {
+        "elapsed_s": elapsed,
+        "latencies": [value for per_client in latencies
+                      for value in per_client],
+        "snapshots": sum(len(per_client)
+                         for per_client in latencies),
+    }
+
+
+def _measure(sample_size: int = 12, latency_s: float = 0.002,
+             repeats: int = 3) -> dict[str, object]:
+    """Best-of-N wall time alone vs. served to ``CLIENTS`` viewers."""
+    request = RunRequest(models=("GPT-4",), taxonomy_keys=("ebay",),
+                         sample_size=sample_size, workers=4)
+    with tempfile.TemporaryDirectory() as root:
+        with ReproServer(root=root, port=0,
+                         poll_interval_s=POLL_INTERVAL_S) \
+                .start() as server:
+            registry = server.registry_for(DEFAULT_TENANT)
+            # Warm the oracle's lazy indexes outside the measurement.
+            _run_alone(request, registry, 0.0)
+            alone_s = min(_run_alone(request, registry, latency_s)
+                          for _ in range(repeats))
+            served = min((_run_served(request, server, latency_s)
+                          for _ in range(repeats)),
+                         key=lambda outcome: outcome["elapsed_s"])
+    latencies = served["latencies"]
+    return {
+        "clients": CLIENTS,
+        "alone_s": alone_s,
+        "served_s": served["elapsed_s"],
+        "overhead": served["elapsed_s"] / alone_s - 1.0,
+        "snapshots_delivered": served["snapshots"],
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p99_s": _percentile(latencies, 0.99),
+    }
+
+
+def _rows(result: dict[str, object]) -> list[dict[str, object]]:
+    return [{
+        "clients": result["clients"],
+        "alone_s": f"{result['alone_s']:.4f}",
+        "served_s": f"{result['served_s']:.4f}",
+        "overhead": f"{result['overhead'] * 100:+.2f}%",
+        "budget": f"{OVERHEAD_BUDGET * 100:.0f}%",
+        "snapshots": result["snapshots_delivered"],
+        "p50_ms": f"{result['latency_p50_s'] * 1e3:.1f}",
+        "p99_ms": f"{result['latency_p99_s'] * 1e3:.1f}",
+    }]
+
+
+def _check(result: dict[str, object]) -> list[str]:
+    failures = []
+    excess = float(result["served_s"]) - float(result["alone_s"])
+    if excess > (float(result["alone_s"]) * OVERHEAD_BUDGET
+                 + ABSOLUTE_SLACK_S):
+        failures.append(
+            f"serving overhead {result['overhead'] * 100:.2f}% "
+            f"exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget "
+            f"(alone {result['alone_s']:.4f}s, "
+            f"served {result['served_s']:.4f}s)")
+    if result["latency_p99_s"] > P99_LATENCY_BUDGET_S:
+        failures.append(
+            f"p99 snapshot latency "
+            f"{result['latency_p99_s'] * 1e3:.1f}ms exceeds the "
+            f"{P99_LATENCY_BUDGET_S * 1e3:.0f}ms budget")
+    return failures
+
+
+def _write_artifact(result: dict[str, object]) -> None:
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps(result, indent=1) + "\n",
+                        encoding="utf-8")
+
+
+def test_serve_load(benchmark, report):
+    result = once(benchmark, _measure)
+    _write_artifact(result)
+    failures = _check(result)
+    assert not failures, "; ".join(failures)
+    report(format_rows(_rows(result),
+                       title=f"SSE fan-out load ({CLIENTS} viewers, "
+                             f"2 ms simulated latency, 4 workers)"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    outcome = _measure(sample_size=6, latency_s=0.002, repeats=2)
+    _write_artifact(outcome)
+    print(format_rows(_rows(outcome),
+                      title=f"SSE fan-out load smoke "
+                            f"({CLIENTS} viewers)"))
+    problems = _check(outcome)
+    if problems:
+        raise SystemExit("; ".join(problems))

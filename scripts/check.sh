@@ -30,6 +30,9 @@ python benchmarks/bench_obs_overhead.py
 echo "== live-follower overhead smoke =="
 python benchmarks/bench_watch_overhead.py
 
+echo "== serve SSE fan-out smoke (overhead + p99 latency gates) =="
+python benchmarks/bench_serve_load.py
+
 echo "== regression gate (obs check vs committed baseline) =="
 GATE_DIR="$(mktemp -d)"
 trap 'rm -rf "$GATE_DIR"' EXIT

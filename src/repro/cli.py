@@ -14,6 +14,8 @@
     python -m repro table --workers 8 --cache /tmp/responses.json
     python -m repro engine-stats --workers 8 --sample 60
     python -m repro run --models GPT-4 --taxonomies ebay --sample 60
+    python -m repro run --taxonomies ebay --sample 60 --json
+    python -m repro serve --host 0.0.0.0 --port 8080
     python -m repro runs list --json
     python -m repro runs show <run-id>
     python -m repro runs resume <run-id> --workers 8
@@ -75,6 +77,9 @@ from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 from repro.runs import (RunRegistry, RunRequest, diff_runs,
                         execute_run, load_run, resume_run)
+from repro.serve.views import (run_cell_rows, run_diff_payload,
+                               run_result_payload, run_show_payload,
+                               runs_list_payload)
 from repro.dist import (DEFAULT_MIN_AGE_S, execute_run_sharded,
                         gc_runs, merge_run, render_shard_dashboard,
                         resume_run_sharded, shard_statuses,
@@ -213,6 +218,26 @@ def _parser() -> argparse.ArgumentParser:
                           "(default: one per shard, capped at the "
                           "machine's cores; 0 = inline, for "
                           "debugging)")
+    run.add_argument("--json", action="store_true",
+                     help="print the final summary as one JSON "
+                          "object instead of the tables")
+
+    serve = commands.add_parser(
+        "serve", help="benchmark-as-a-service HTTP API with live "
+                      "SSE run streaming")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="ledger poll cadence of the shared SSE "
+                            "followers")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       metavar="N",
+                       help="background threads executing submitted "
+                            "runs")
+    _add_runs_dir(serve)
 
     runs = commands.add_parser(
         "runs", help="inspect, resume and diff ledgered runs")
@@ -243,6 +268,9 @@ def _parser() -> argparse.ArgumentParser:
                              metavar="M",
                              help="worker processes when resuming a "
                                   "sharded run (0 = inline)")
+    runs_resume.add_argument("--json", action="store_true",
+                             help="print the final summary as one "
+                                  "JSON object")
     _add_runs_dir(runs_resume)
     _add_engine_options(runs_resume)
 
@@ -613,7 +641,10 @@ def _registry(args: argparse.Namespace) -> RunRegistry:
     return RunRegistry(args.runs_dir)
 
 
-def _run_result_report(result, title: str) -> str:
+def _run_result_report(result, title: str,
+                       as_json: bool = False) -> str:
+    if as_json:
+        return json.dumps(run_result_payload(result), indent=1)
     if result.request.per_level:
         rows = [{
             "cell": key.cell_id,
@@ -660,7 +691,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
         return _run_result_report(
             result,
             title=f"Sharded run (x{args.shards}) on {args.dataset} "
-                  f"datasets")
+                  f"datasets",
+            as_json=args.json)
     engine = (_build_engine(args)
               if args.workers > 1 or args.batch_size > 1
               or args.coalesce else None)
@@ -669,7 +701,25 @@ def _cmd_run(args: argparse.Namespace) -> str:
     if engine is not None:
         _persist_cache(engine, args)
     return _run_result_report(
-        result, title=f"Ledgered run on {args.dataset} datasets")
+        result, title=f"Ledgered run on {args.dataset} datasets",
+        as_json=args.json)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve import ReproServer
+    server = ReproServer(root=args.runs_dir, host=args.host,
+                         port=args.port,
+                         poll_interval_s=args.poll_interval,
+                         job_workers=args.job_workers)
+    print(f"serving {server.root} on {server.url} "
+          f"(Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+    return f"stopped serving {server.root}"
 
 
 def _cmd_runs(args: argparse.Namespace) -> str:
@@ -677,10 +727,11 @@ def _cmd_runs(args: argparse.Namespace) -> str:
 
 
 def _cmd_runs_list(args: argparse.Namespace) -> str:
-    summaries = _registry(args).list_runs()
+    registry = _registry(args)
     if args.json:
-        return json.dumps([summary.to_dict() for summary in summaries],
-                          indent=1)
+        # Same builder the HTTP API serves from (GET /runs).
+        return json.dumps(runs_list_payload(registry), indent=1)
+    summaries = registry.list_runs()
     if not summaries:
         return "no runs in registry"
     return format_rows([summary.as_row() for summary in summaries],
@@ -756,32 +807,16 @@ def _cmd_runs_show(args: argparse.Namespace) -> str:
     registry = _registry(args)
     if args.follow:
         return _watch(registry, args.run_id, as_json=args.json)
+    if args.json:
+        # Same builder the HTTP API serves from (GET /runs/<id>).
+        return json.dumps(run_show_payload(registry, args.run_id),
+                          indent=1)
     manifest = registry.manifest(args.run_id)
     state = registry.state(args.run_id)
-    cell_rows = []
-    for cell_id, cell in state.cells.items():
-        cell_rows.append({
-            "cell": cell_id,
-            "n": cell.expected_n,
-            "recorded": len(cell.records),
-            "accuracy": (f"{cell.metrics.accuracy:.3f}"
-                         if cell.complete else "-"),
-            "miss_rate": (f"{cell.metrics.miss_rate:.3f}"
-                          if cell.complete else "-"),
-            "status": "done" if cell.complete else "partial",
-        })
+    cell_rows = run_cell_rows(state)
     shards = registry.shard_count(args.run_id)
     shard_rows = (shard_statuses(args.run_id, registry=registry)
                   if shards else [])
-    if args.json:
-        return json.dumps({
-            "manifest": manifest,
-            "finished": state.finished,
-            "attempts": state.attempts,
-            "stats": state.stats,
-            "cells": cell_rows,
-            "shards": [status.to_dict() for status in shard_rows],
-        }, indent=1)
     status = "finished" if state.finished else "partial"
     header = (f"run {args.run_id} [{status}, "
               f"attempt {state.attempts}] "
@@ -811,7 +846,8 @@ def _cmd_runs_resume(args: argparse.Namespace) -> str:
                                     procs=args.local_procs,
                                     cache_path=args.cache)
         return _run_result_report(
-            result, title=f"Resumed sharded run {args.run_id}")
+            result, title=f"Resumed sharded run {args.run_id}",
+            as_json=args.json)
     engine = (_build_engine(args)
               if args.workers > 1 or args.batch_size > 1
               or args.coalesce else None)
@@ -820,7 +856,8 @@ def _cmd_runs_resume(args: argparse.Namespace) -> str:
     if engine is not None:
         _persist_cache(engine, args)
     return _run_result_report(
-        result, title=f"Resumed run {args.run_id}")
+        result, title=f"Resumed run {args.run_id}",
+        as_json=args.json)
 
 
 def _cmd_runs_merge(args: argparse.Namespace) -> str:
@@ -847,10 +884,14 @@ def _cmd_runs_gc(args: argparse.Namespace) -> str:
 
 def _cmd_runs_diff(args: argparse.Namespace) -> str:
     registry = _registry(args)
+    if args.json:
+        # Same builder the HTTP API serves from
+        # (GET /runs/<a>/diff/<b>).
+        return json.dumps(
+            run_diff_payload(registry, args.run_a, args.run_b),
+            indent=1)
     diff = diff_runs(load_run(args.run_a, registry=registry),
                      load_run(args.run_b, registry=registry))
-    if args.json:
-        return json.dumps(diff.to_dict(), indent=1)
     table = format_rows(
         diff.rows(), title=f"Diff {diff.run_a} -> {diff.run_b}")
     footer = (f"\n{len(diff.changed_cells)} changed cells, "
@@ -1000,6 +1041,7 @@ _COMMANDS = {
     "errors": _cmd_errors,
     "engine-stats": _cmd_engine_stats,
     "run": _cmd_run,
+    "serve": _cmd_serve,
     "runs": _cmd_runs,
     "watch": _cmd_watch,
     "obs": _cmd_obs,

@@ -29,6 +29,7 @@ its cost to the run is only filesystem read pressure — the
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -157,6 +158,12 @@ class LedgerFollower:
     the snapshot is exactly what ``replay_ledger``/``load_run`` would
     reconstruct — the concurrent-follow tests assert that
     convergence.  The follower is strictly read-only.
+
+    One follower may be shared by many concurrent readers (the serve
+    layer fans a single follower out to N SSE subscribers): ``poll``
+    serializes under an internal lock, so the stateful file offsets
+    and fold state never tear, and every caller sees a snapshot at
+    least as fresh as the ledger was when its poll started.
     """
 
     def __init__(self, run_id: str,
@@ -178,6 +185,7 @@ class LedgerFollower:
         self._apply = _apply
         self._read_heartbeat = read_heartbeat
         self._clock = clock
+        self._lock = threading.Lock()
         manifest = self.registry.manifest(run_id)  # raises if unknown
         self._cells_planned = int(manifest.get("cells", 0))
         request = manifest.get("request", {})
@@ -229,7 +237,11 @@ class LedgerFollower:
     # ------------------------------------------------------------------
     def poll(self) -> RunProgress:
         """Consume everything appended since the last poll and
-        snapshot the run."""
+        snapshot the run.  Safe to call from many threads."""
+        with self._lock:
+            return self._poll_locked()
+
+    def _poll_locked(self) -> RunProgress:
         self._ingest_ledger()
         self._ingest_spans()
         now = self._clock()

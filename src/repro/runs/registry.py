@@ -227,11 +227,24 @@ class RunRegistry:
 
     # ------------------------------------------------------------------
     def manifest(self, run_id: str) -> dict:
+        """The run's manifest document.
+
+        Reads without a prior existence probe: a run directory swept
+        away between the probe and the read (``runs gc`` racing a
+        lister) must surface as :class:`UnknownRunError`, never as an
+        unhandled ``FileNotFoundError``.
+        """
         path = self.manifest_path(run_id)
-        if not path.exists():
-            raise UnknownRunError(run_id, str(self.root))
         try:
-            return json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise UnknownRunError(run_id, str(self.root)) from None
+        except OSError as exc:
+            raise RunError(
+                f"unreadable manifest for run {run_id!r}: "
+                f"{exc}") from exc
+        try:
+            return json.loads(text)
         except ValueError as exc:
             raise RunError(
                 f"corrupt manifest for run {run_id!r}: {exc}") from exc
@@ -244,17 +257,22 @@ class RunRegistry:
         if not self.manifest_path(run_id).exists():
             raise UnknownRunError(run_id, str(self.root))
         path = self.ledger_path(run_id)
-        if not path.exists():
+        try:
+            return replay_ledger(path)
+        except FileNotFoundError:
+            # Never started, or the run vanished mid-read (gc race);
+            # either way the ledger says nothing about the run.
             return RunState(run_id=run_id)
-        return replay_ledger(path)
 
     # ------------------------------------------------------------------
     def list_ids(self) -> list[str]:
-        if not self.root.exists():
+        try:
+            return sorted(
+                entry.name for entry in self.root.iterdir()
+                if entry.is_dir()
+                and (entry / MANIFEST_FILENAME).exists())
+        except FileNotFoundError:
             return []
-        return sorted(
-            entry.name for entry in self.root.iterdir()
-            if entry.is_dir() and (entry / MANIFEST_FILENAME).exists())
 
     def orphan_dirs(self) -> list[Path]:
         """Run directories without a manifest (crashed mid-create).
@@ -263,25 +281,31 @@ class RunRegistry:
         died between its exclusive ``mkdir`` and the manifest write
         leaves one behind — and are what ``repro runs gc`` prunes.
         """
-        if not self.root.exists():
+        try:
+            return sorted(
+                entry for entry in self.root.iterdir()
+                if entry.is_dir()
+                and not (entry / MANIFEST_FILENAME).exists())
+        except FileNotFoundError:
             return []
-        return sorted(
-            entry for entry in self.root.iterdir()
-            if entry.is_dir()
-            and not (entry / MANIFEST_FILENAME).exists())
 
     def list_runs(self) -> list[RunSummary]:
         """Summaries for every run, oldest first.
 
-        A run directory that cannot be decoded (corrupt manifest or
-        ledger — e.g. a creator crashed mid-write, or the disk lied)
-        is *flagged* as an ``invalid`` row rather than poisoning the
-        whole listing with an exception.
+        The scan is a *consistent snapshot* under concurrent writers:
+        a run directory that disappears between enumeration and
+        decode (``runs gc``, a worker shuffling shard dirs) is simply
+        skipped, while one that cannot be decoded (corrupt manifest
+        or ledger — e.g. a creator crashed mid-write, or the disk
+        lied) is *flagged* as an ``invalid`` row.  Neither case may
+        poison the whole listing with an exception.
         """
         summaries = []
         for run_id in self.list_ids():
             try:
                 summaries.append(self.summary(run_id))
+            except UnknownRunError:
+                continue                 # vanished mid-scan
             except RunError:
                 summaries.append(RunSummary(
                     run_id=run_id, dataset="?", models=0, taxonomies=0,

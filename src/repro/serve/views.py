@@ -1,0 +1,93 @@
+"""Canonical JSON payloads shared by the CLI and the HTTP API.
+
+The acceptance contract of the serving layer is that a remote caller
+hitting ``GET /runs``, ``GET /runs/<id>`` or ``GET /runs/<id>/diff/<b>``
+receives *exactly* the JSON the CLI's ``runs list/show/diff --json``
+prints.  Rather than asserting that equality after the fact, both
+surfaces call the builders in this module — there is one codepath, so
+the payloads cannot drift.  ``run_result_payload`` is the machine
+form of a finished :class:`repro.runs.RunResult` (the ``repro run
+--json`` summary and the server's ``GET /runs/<id>/result``).
+"""
+
+from __future__ import annotations
+
+from repro.core.results import metrics_to_dict
+from repro.runs.diff import diff_runs
+from repro.runs.driver import RunResult, load_run
+from repro.runs.ledger import RunState
+from repro.runs.registry import RunRegistry
+
+
+def run_cell_rows(state: RunState) -> list[dict[str, object]]:
+    """Per-cell rows of ``runs show`` (shared by text and JSON)."""
+    rows = []
+    for cell_id, cell in state.cells.items():
+        rows.append({
+            "cell": cell_id,
+            "n": cell.expected_n,
+            "recorded": len(cell.records),
+            "accuracy": (f"{cell.metrics.accuracy:.3f}"
+                         if cell.complete else "-"),
+            "miss_rate": (f"{cell.metrics.miss_rate:.3f}"
+                          if cell.complete else "-"),
+            "status": "done" if cell.complete else "partial",
+        })
+    return rows
+
+
+def runs_list_payload(registry: RunRegistry) -> list[dict[str, object]]:
+    """The ``runs list --json`` document: one entry per run."""
+    return [summary.to_dict() for summary in registry.list_runs()]
+
+
+def run_show_payload(registry: RunRegistry,
+                     run_id: str) -> dict[str, object]:
+    """The ``runs show <id> --json`` document.
+
+    Raises :class:`repro.errors.UnknownRunError` for a bad id — the
+    CLI prints it, the server maps it to a 404.
+    """
+    # Deferred: repro.dist imports repro.runs at module level.
+    from repro.dist.status import shard_statuses
+    manifest = registry.manifest(run_id)
+    state = registry.state(run_id)
+    shards = registry.shard_count(run_id)
+    shard_rows = (shard_statuses(run_id, registry=registry)
+                  if shards else [])
+    return {
+        "manifest": manifest,
+        "finished": state.finished,
+        "attempts": state.attempts,
+        "stats": state.stats,
+        "cells": run_cell_rows(state),
+        "shards": [status.to_dict() for status in shard_rows],
+    }
+
+
+def run_diff_payload(registry: RunRegistry, run_a: str,
+                     run_b: str) -> dict[str, object]:
+    """The ``runs diff <a> <b> --json`` document."""
+    return diff_runs(load_run(run_a, registry=registry),
+                     load_run(run_b, registry=registry)).to_dict()
+
+
+def run_result_payload(result: RunResult) -> dict[str, object]:
+    """Machine form of a run's final summary (``repro run --json``).
+
+    Cells appear in the deterministic plan order the run executed
+    them in, each with the canonical :class:`Metrics` codec, so
+    scripted callers never scrape the human tables.
+    """
+    return {
+        "run_id": result.run_id,
+        "request": result.request.to_dict(),
+        "cells": [{"cell": key.cell_id,
+                   **metrics_to_dict(cell_result.metrics)}
+                  for key, cell_result in result.cells.items()],
+        "evaluated": result.evaluated,
+        "replayed": result.replayed,
+        "resumed_cells": list(result.resumed_cells),
+        "stats": (result.stats.to_dict()
+                  if result.stats is not None else None),
+    }

@@ -570,3 +570,93 @@ class TestLiveCli:
         with pytest.raises(RunError):
             main(["obs", "check", "--baseline", "x",
                   "--runs-dir", runs_dir])
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers (the serving layer's sharing contract)
+# ----------------------------------------------------------------------
+class TestConcurrentFollowers:
+    """One run, many readers — the ``repro.serve`` hub's contract."""
+
+    READERS = 6
+
+    #: Snapshot fields that depend on the poll clock rather than the
+    #: ledger contents.
+    VOLATILE = ("ts", "elapsed_s", "throughput", "eta_s",
+                "heartbeat_age_s", "progress_age_s")
+
+    def _stable(self, snapshot: dict) -> dict:
+        return {key: value for key, value in snapshot.items()
+                if key not in self.VOLATILE}
+
+    def test_one_shared_follower_polled_by_many_threads(self,
+                                                        registry):
+        request = RunRequest(**SMALL)
+        run_id = create_run(request, registry=registry)
+        follower = LedgerFollower(run_id, registry=registry)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        polls = [0] * self.READERS
+
+        def reader(slot: int) -> None:
+            try:
+                while not stop.is_set():
+                    follower.poll()
+                    polls[slot] += 1
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(self.READERS)]
+        for thread in threads:
+            thread.start()
+        try:
+            result = execute_run(request, registry=registry,
+                                 run_id=run_id,
+                                 resolve_model=slow_resolver(0.001))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert all(count > 0 for count in polls)
+        # The shared, heavily contended follower converges to the
+        # exact post-hoc state.
+        final = follower.poll()
+        loaded = load_run(run_id, registry=registry)
+        assert final.finished
+        assert final.questions_done == sum(
+            cell.metrics.n for cell in loaded.cells.values())
+        assert final.correct == round(
+            _weighted_accuracy(loaded) * final.questions_done)
+        assert {cell.cell_id for cell in final.cells} == \
+            {key.cell_id for key in loaded.cells}
+        for cell in final.cells:
+            assert cell.complete and cell.done == cell.expected
+
+    def test_k_independent_followers_converge_identically(self,
+                                                          registry):
+        request = RunRequest(**SMALL)
+        result = execute_run(request, registry=registry)
+        followers = [LedgerFollower(result.run_id, registry=registry)
+                     for _ in range(self.READERS)]
+        snapshots: list[dict] = [None] * self.READERS
+        errors: list[BaseException] = []
+
+        def follow(slot: int) -> None:
+            try:
+                snapshots[slot] = followers[slot].poll().to_dict()
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=follow, args=(slot,))
+                   for slot in range(self.READERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        stable = [self._stable(snapshot) for snapshot in snapshots]
+        assert all(snapshot == stable[0] for snapshot in stable[1:])
+        assert stable[0]["finished"] is True
+        assert stable[0]["questions_done"] == result.evaluated

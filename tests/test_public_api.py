@@ -18,8 +18,8 @@ PUBLIC_MODULES = [
     "repro.llm", "repro.core", "repro.engine", "repro.hybrid",
     "repro.popularity", "repro.experiments", "repro.stats",
     "repro.data", "repro.loaders", "repro.figures", "repro.errors",
-    "repro.store", "repro.runs", "repro.obs", "repro.cli",
-    "repro.search",
+    "repro.store", "repro.runs", "repro.obs", "repro.serve",
+    "repro.cli", "repro.search",
 ]
 
 

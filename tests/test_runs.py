@@ -505,3 +505,81 @@ class TestRunsCli:
     def test_empty_registry_listing(self, capsys, runs_dir):
         out = self._run(capsys, "runs", "list", "--runs-dir", runs_dir)
         assert "no runs in registry" in out
+
+
+# ----------------------------------------------------------------------
+# Registry scans vs concurrent writers (consistent-snapshot contract)
+# ----------------------------------------------------------------------
+class TestRegistryRaceConsistency:
+    """Listing must never throw because a run vanished mid-scan."""
+
+    TINY = dict(models=("GPT-4",), taxonomy_keys=("ebay",),
+                sample_size=6)
+
+    def test_vanished_run_is_skipped_not_raised(self, registry,
+                                                monkeypatch):
+        result = execute_run(RunRequest(**self.TINY),
+                             registry=registry)
+        # Simulate a run directory swept away (gc, a remote worker)
+        # between enumeration and decode.
+        real_ids = registry.list_ids()
+        monkeypatch.setattr(registry, "list_ids",
+                            lambda: real_ids + ["ghost-01"])
+        summaries = registry.list_runs()
+        assert [s.run_id for s in summaries] == [result.run_id]
+
+    def test_corrupt_manifest_is_flagged_not_raised(self, registry):
+        result = execute_run(RunRequest(**self.TINY),
+                             registry=registry)
+        broken = create_run(RunRequest(**self.TINY),
+                            registry=registry)
+        registry.manifest_path(broken).write_text("{nope",
+                                                  encoding="utf-8")
+        summaries = registry.list_runs()
+        by_id = {s.run_id: s for s in summaries}
+        assert by_id[result.run_id].finished
+        assert by_id[broken].status == "invalid"
+
+    def test_missing_root_lists_empty(self, tmp_path):
+        registry = RunRegistry(tmp_path / "never-created")
+        assert registry.list_ids() == []
+        assert registry.orphan_dirs() == []
+        assert registry.list_runs() == []
+
+    def test_unknown_run_still_raises_for_direct_lookups(self,
+                                                         registry):
+        with pytest.raises(UnknownRunError):
+            registry.manifest("ghost-01")
+        with pytest.raises(UnknownRunError):
+            registry.state("ghost-01")
+
+    def test_listing_survives_create_delete_churn(self, registry):
+        import shutil
+        request = RunRequest(**self.TINY)
+        anchor = execute_run(request, registry=registry)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn() -> None:
+            try:
+                while not stop.is_set():
+                    run_id = registry.create(request, cells=1)
+                    shutil.rmtree(registry.run_dir(run_id),
+                                  ignore_errors=True)
+            except BaseException as exc:
+                errors.append(exc)
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for _ in range(200):
+                summaries = registry.list_runs()
+                # The anchor run is always visible and valid; churn
+                # debris may appear or vanish but never poisons the
+                # scan.
+                assert anchor.run_id in \
+                    [s.run_id for s in summaries]
+        finally:
+            stop.set()
+            writer.join(timeout=30)
+        assert not errors

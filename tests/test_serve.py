@@ -1,0 +1,475 @@
+"""Tests for the benchmark-as-a-service HTTP layer (``repro.serve``).
+
+The acceptance criteria of the serving tentpole live here: REST
+responses are byte-equal to the CLI's ``--json`` paths (one shared
+builder, checked end to end), a run submitted over ``POST /runs`` can
+be watched live by many concurrent SSE clients whose final streamed
+snapshots agree bit-for-bit with each other and with the post-hoc
+``load_run`` state, tenants are isolated, and malformed requests of
+every shape produce structured JSON errors instead of stack traces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.runs import RunRequest, execute_run, load_run
+from repro.serve import (DEFAULT_TENANT, TENANT_HEADER, ReproServer,
+                         run_result_payload)
+
+SMALL = dict(models=("GPT-4",), taxonomy_keys=("ebay",),
+             sample_size=8)
+SMALL_BODY = {"models": ["GPT-4"], "taxonomy_keys": ["ebay"],
+              "sample_size": 8}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = ReproServer(root=tmp_path / "runs", port=0,
+                      poll_interval_s=0.05, idle_grace_s=2.0).start()
+    yield srv
+    srv.close()
+
+
+# ----------------------------------------------------------------------
+# Minimal stdlib HTTP client helpers
+# ----------------------------------------------------------------------
+def _request(server, path, method="GET", body=None, headers=None,
+             raw=None):
+    """(status, decoded JSON) of one request; errors decode too."""
+    data = raw
+    request_headers = dict(headers or {})
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        request_headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(server.url + path, method=method,
+                                     data=data,
+                                     headers=request_headers)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(server, path, headers=None):
+    return _request(server, path, headers=headers)
+
+
+def _post(server, path, body=None, headers=None, raw=None):
+    return _request(server, path, method="POST", body=body,
+                    headers=headers, raw=raw)
+
+
+def _wait_job(server, job_id, headers=None, deadline_s=60.0):
+    """Poll ``/jobs/<id>`` until it leaves the active states."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, job = _get(server, f"/jobs/{job_id}", headers=headers)
+        assert status == 200
+        if job["state"] in ("finished", "failed"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+def _read_sse(server, path, headers=None, timeout_s=60.0):
+    """Every ``(kind, raw_data)`` frame of one SSE stream, to EOF."""
+    request = urllib.request.Request(server.url + path,
+                                     headers=dict(headers or {}))
+    frames = []
+    with urllib.request.urlopen(request,
+                                timeout=timeout_s) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "text/event-stream"
+        kind, data = None, None
+        for line in response:
+            line = line.decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue                       # keep-alive comment
+            if line.startswith("event: "):
+                kind = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = line[len("data: "):]
+            elif not line:
+                if kind is not None:
+                    frames.append((kind, data))
+                if kind == "done":
+                    break
+                kind, data = None, None
+    return frames
+
+
+def _cli_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def _seed_run(server, tenant=DEFAULT_TENANT):
+    """Execute one small run directly into the server's registry."""
+    registry = server.registry_for(tenant)
+    return execute_run(RunRequest(**SMALL), registry=registry)
+
+
+# ----------------------------------------------------------------------
+# REST payloads == CLI --json payloads (shared builders, end to end)
+# ----------------------------------------------------------------------
+class TestRestMatchesCli:
+    def test_runs_list(self, server, capsys):
+        _seed_run(server)
+        status, payload = _get(server, "/runs")
+        assert status == 200
+        assert payload == _cli_json(capsys, [
+            "runs", "list", "--json", "--runs-dir", str(server.root)])
+        assert len(payload) == 1 and payload[0]["finished"]
+
+    def test_runs_show(self, server, capsys):
+        result = _seed_run(server)
+        status, payload = _get(server, f"/runs/{result.run_id}")
+        assert status == 200
+        assert payload == _cli_json(capsys, [
+            "runs", "show", result.run_id, "--json",
+            "--runs-dir", str(server.root)])
+        assert payload["finished"] is True
+        assert all(cell["status"] == "done"
+                   for cell in payload["cells"])
+
+    def test_runs_diff(self, server, capsys):
+        first = _seed_run(server)
+        second = _seed_run(server)
+        path = f"/runs/{first.run_id}/diff/{second.run_id}"
+        status, payload = _get(server, path)
+        assert status == 200
+        assert payload == _cli_json(capsys, [
+            "runs", "diff", first.run_id, second.run_id, "--json",
+            "--runs-dir", str(server.root)])
+        assert payload["identical"] is True
+
+    def test_run_result_endpoint_matches_run_json_summary(
+            self, server, capsys, tmp_path):
+        runs_dir = str(server.root)
+        cli = _cli_json(capsys, [
+            "run", "--models", "GPT-4", "--taxonomies", "ebay",
+            "--sample", "8", "--json", "--runs-dir", runs_dir])
+        status, rest = _get(server, f"/runs/{cli['run_id']}/result")
+        assert status == 200
+        # The endpoint rebuilds from the ledger, so the live-only
+        # bookkeeping differs (evaluated vs replayed); the scored
+        # substance must agree exactly.
+        assert rest["run_id"] == cli["run_id"]
+        assert rest["request"] == cli["request"]
+        assert rest["cells"] == cli["cells"]
+        assert rest["stats"] == cli["stats"]
+        assert cli["evaluated"] == 32 and cli["replayed"] == 0
+        assert rest["replayed"] == 32 and rest["evaluated"] == 0
+
+    def test_runs_resume_json_summary(self, server, capsys):
+        result = _seed_run(server)
+        cli = _cli_json(capsys, [
+            "runs", "resume", result.run_id, "--json",
+            "--runs-dir", str(server.root)])
+        assert cli["run_id"] == result.run_id
+        assert cli["replayed"] == result.evaluated
+        assert cli["evaluated"] == 0
+        assert cli == run_result_payload(
+            load_run(result.run_id,
+                     registry=server.registry_for(DEFAULT_TENANT)))
+
+
+# ----------------------------------------------------------------------
+# Browsing endpoints
+# ----------------------------------------------------------------------
+class TestBrowsing:
+    def test_index_and_health(self, server):
+        status, index = _get(server, "/")
+        assert status == 200
+        assert index["service"] == "repro-serve"
+        assert "GET /runs/<id>/events" in index["endpoints"]
+        status, health = _get(server, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["runs_root"] == str(server.root)
+        assert health["jobs"] == {"total": 0, "active": 0}
+
+    def test_taxonomies_and_detail(self, server):
+        status, rows = _get(server, "/taxonomies")
+        assert status == 200
+        assert len(rows) == 10
+        assert {"key", "name", "domain", "levels", "trees",
+                "entities"} <= set(rows[0])
+        status, detail = _get(server, "/taxonomies/ebay")
+        assert status == 200
+        assert detail["key"] == "ebay"
+        assert detail["entities_built"] == detail["entities"]
+        assert len(detail["level_widths_built"]) == detail["levels"]
+
+    def test_models_and_pools(self, server):
+        status, models = _get(server, "/models")
+        assert status == 200
+        assert "GPT-4" in models["models"]
+        status, pool = _get(server, "/pools/ebay?sample=10")
+        assert status == 200
+        assert pool["taxonomy"] == "ebay"
+        assert pool["sample_size"] == 10
+        assert pool["levels"][-1]["level"] == "total"
+
+
+# ----------------------------------------------------------------------
+# Run submission + background execution
+# ----------------------------------------------------------------------
+class TestSubmission:
+    def test_post_runs_executes_in_background(self, server):
+        status, accepted = _post(server, "/runs", body=SMALL_BODY)
+        assert status == 202
+        run_id = accepted["run_id"]
+        assert accepted["job"]["kind"] == "run"
+        assert accepted["job"]["run_id"] == run_id
+        # Admission is synchronous: the run id resolves immediately,
+        # even before the first question is answered.
+        status, shown = _get(server, f"/runs/{run_id}")
+        assert status == 200
+        job = _wait_job(server, accepted["job"]["job_id"])
+        assert job["state"] == "finished", job["error"]
+        assert job["evaluated"] == 32 and job["cells"] == 1
+        assert job["stats"]["records"] == 32
+        status, shown = _get(server, f"/runs/{run_id}")
+        assert shown["finished"] is True
+        loaded = load_run(run_id,
+                          registry=server.registry_for(DEFAULT_TENANT))
+        assert sum(cell.metrics.n
+                   for cell in loaded.cells.values()) == 32
+
+    def test_post_resume_replays_finished_run(self, server):
+        result = _seed_run(server)
+        status, accepted = _post(server,
+                                 f"/runs/{result.run_id}/resume")
+        assert status == 202
+        job = _wait_job(server, accepted["job"]["job_id"])
+        assert job["state"] == "finished", job["error"]
+        assert job["kind"] == "resume"
+        assert job["replayed"] == result.evaluated
+        assert job["evaluated"] == 0
+
+    def test_jobs_listing_tracks_submissions(self, server):
+        status, jobs = _get(server, "/jobs")
+        assert status == 200 and jobs == []
+        _, accepted = _post(server, "/runs", body=SMALL_BODY)
+        _wait_job(server, accepted["job"]["job_id"])
+        status, jobs = _get(server, "/jobs")
+        assert [job["job_id"] for job in jobs] == \
+            [accepted["job"]["job_id"]]
+
+
+# ----------------------------------------------------------------------
+# Live SSE streaming (the tentpole acceptance test)
+# ----------------------------------------------------------------------
+class TestLiveStreaming:
+    VIEWERS = 10
+
+    def test_many_concurrent_viewers_converge_bitwise(self, server):
+        _, accepted = _post(server, "/runs",
+                            body={**SMALL_BODY, "sample_size": 16})
+        run_id = accepted["run_id"]
+        results: list[list] = [None] * self.VIEWERS
+        errors: list[BaseException] = []
+
+        def view(slot: int) -> None:
+            try:
+                results[slot] = _read_sse(server,
+                                          f"/runs/{run_id}/events")
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=view, args=(slot,))
+                   for slot in range(self.VIEWERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert all(frames is not None for frames in results)
+        finals = []
+        for frames in results:
+            kinds = [kind for kind, _ in frames]
+            assert kinds[-1] == "done"
+            snapshots = [data for kind, data in frames
+                         if kind == "snapshot"]
+            assert snapshots, "viewer saw no snapshot at all"
+            finals.append(snapshots[-1])
+        # Every viewer's final snapshot is bit-for-bit identical.
+        assert len(set(finals)) == 1
+        final = json.loads(finals[0])
+        # ... and agrees exactly with the post-hoc replayed state.
+        loaded = load_run(run_id,
+                          registry=server.registry_for(DEFAULT_TENANT))
+        assert final["finished"] is True
+        assert final["status"] == "finished"
+        planned = sum(cell.metrics.n
+                      for cell in loaded.cells.values())
+        assert final["questions_done"] == planned
+        correct = sum(
+            round(cell.metrics.accuracy * cell.metrics.n)
+            for cell in loaded.cells.values())
+        assert final["correct"] == correct
+        by_cell = {key.cell_id: cell
+                   for key, cell in loaded.cells.items()}
+        assert len(final["cells"]) == len(by_cell)
+        for cell in final["cells"]:
+            assert cell["complete"] is True
+            assert cell["done"] == by_cell[cell["cell"]].metrics.n
+
+    def test_late_subscriber_is_served_from_cached_final(self,
+                                                         server):
+        _, accepted = _post(server, "/runs", body=SMALL_BODY)
+        run_id = accepted["run_id"]
+        _wait_job(server, accepted["job"]["job_id"])
+        first = _read_sse(server, f"/runs/{run_id}/events")
+        again = _read_sse(server, f"/runs/{run_id}/events")
+        for frames in (first, again):
+            assert [kind for kind, _ in frames][-1] == "done"
+            final = json.loads([data for kind, data in frames
+                                if kind == "snapshot"][-1])
+            assert final["finished"] is True
+        # The cached fast path costs no broadcast.
+        assert server.hub.stats()["cached_finals"] >= 1
+        assert server.hub.stats()["broadcasts"] == 0
+
+    def test_limit_query_truncates_the_stream(self, server):
+        result = _seed_run(server)
+        frames = _read_sse(server,
+                           f"/runs/{result.run_id}/events?limit=1")
+        snapshots = [data for kind, data in frames
+                     if kind == "snapshot"]
+        assert len(snapshots) == 1
+
+    def test_progress_endpoint_serves_one_snapshot(self, server):
+        result = _seed_run(server)
+        status, snapshot = _get(server,
+                                f"/runs/{result.run_id}/progress")
+        assert status == 200
+        assert snapshot["run_id"] == result.run_id
+        assert snapshot["finished"] is True
+        assert snapshot["questions_done"] == result.evaluated
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+class TestTenancy:
+    TEAM = {TENANT_HEADER: "team-a"}
+
+    def test_tenants_have_disjoint_registries(self, server):
+        ours = _seed_run(server)
+        # A different request, so the fingerprint-derived run ids
+        # cannot collide across the two namespaces.
+        theirs = execute_run(
+            RunRequest(**{**SMALL, "sample_size": 6}),
+            registry=server.registry_for("team-a"))
+        status, default_runs = _get(server, "/runs")
+        assert [run["run_id"] for run in default_runs] == \
+            [ours.run_id]
+        status, team_runs = _get(server, "/runs", headers=self.TEAM)
+        assert [run["run_id"] for run in team_runs] == \
+            [theirs.run_id]
+        # A tenant cannot see another tenant's run.
+        status, _ = _get(server, f"/runs/{ours.run_id}",
+                         headers=self.TEAM)
+        assert status == 404
+
+    def test_tenant_registry_nests_under_root(self, server):
+        registry = server.registry_for("team-a")
+        assert registry.root == server.root / "tenants" / "team-a"
+        assert server.registry_for(DEFAULT_TENANT).root == server.root
+
+    def test_jobs_are_tenant_scoped(self, server):
+        _, accepted = _post(server, "/runs", body=SMALL_BODY,
+                            headers=self.TEAM)
+        _wait_job(server, accepted["job"]["job_id"],
+                  headers=self.TEAM)
+        status, default_jobs = _get(server, "/jobs")
+        assert default_jobs == []
+        status, _ = _get(server,
+                         f"/jobs/{accepted['job']['job_id']}")
+        assert status == 404
+
+
+# ----------------------------------------------------------------------
+# Hardening: every malformed request gets a structured JSON error
+# ----------------------------------------------------------------------
+class TestHardening:
+    def _expect_error(self, server, path, status, code, method="GET",
+                      body=None, headers=None, raw=None):
+        got_status, payload = _request(server, path, method=method,
+                                       body=body, headers=headers,
+                                       raw=raw)
+        assert got_status == status, payload
+        assert payload["error"]["status"] == status
+        assert payload["error"]["code"] == code
+        assert payload["error"]["message"]
+
+    def test_unknown_routes_404(self, server):
+        self._expect_error(server, "/nope", 404, "not-found")
+        self._expect_error(server, "/runs/x/nope", 404, "not-found")
+
+    def test_unknown_run_ids_404(self, server):
+        self._expect_error(server, "/runs/zzz", 404, "unknown-run")
+        self._expect_error(server, "/runs/zzz/result", 404,
+                           "unknown-run")
+        self._expect_error(server, "/runs/zzz/events", 404,
+                           "unknown-run")
+        self._expect_error(server, "/runs/a/diff/b", 404,
+                           "unknown-run")
+        self._expect_error(server, "/runs/zzz/resume", 404,
+                           "unknown-run", method="POST")
+
+    def test_unknown_taxonomy_pool_job_404(self, server):
+        self._expect_error(server, "/taxonomies/zzz", 404,
+                           "not-found")
+        self._expect_error(server, "/pools/zzz", 404, "not-found")
+        self._expect_error(server, "/jobs/zzz", 404, "not-found")
+
+    def test_wrong_method_405_with_allow(self, server):
+        request = urllib.request.Request(server.url + "/runs",
+                                         method="PUT", data=b"{}")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "GET"
+
+    def test_bad_bodies_400(self, server):
+        self._expect_error(server, "/runs", 400, "bad-request",
+                           method="POST")        # no body at all
+        self._expect_error(server, "/runs", 400, "bad-request",
+                           method="POST", raw=b"{not json")
+        self._expect_error(server, "/runs", 400, "bad-request",
+                           method="POST", raw=b"[1, 2]")
+        self._expect_error(server, "/runs", 400, "bad-request",
+                           method="POST", body={"bogus_field": 1})
+        self._expect_error(server, "/runs", 400, "bad-request",
+                           method="POST",
+                           body={"models": ["No-Such-Model"]})
+
+    def test_oversized_body_413(self, server):
+        huge = b"x" * (server.max_body_bytes + 1)
+        self._expect_error(server, "/runs", 413, "payload-too-large",
+                           method="POST", raw=huge)
+
+    def test_bad_query_values_400(self, server):
+        self._expect_error(server, "/pools/ebay?sample=many", 400,
+                           "bad-request")
+        result = _seed_run(server)
+        self._expect_error(server,
+                           f"/runs/{result.run_id}/events?limit=x",
+                           400, "bad-request")
+
+    def test_hostile_tenant_names_400(self, server):
+        for name in ("../escape", "a/b", ".hidden", "x" * 65):
+            self._expect_error(server, "/runs", 400, "bad-request",
+                               headers={TENANT_HEADER: name})
