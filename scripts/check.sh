@@ -30,6 +30,9 @@ python benchmarks/bench_obs_overhead.py
 echo "== live-follower overhead smoke =="
 python benchmarks/bench_watch_overhead.py
 
+echo "== cost metering smoke (overhead + budget determinism gates) =="
+python benchmarks/bench_cost_overhead.py
+
 echo "== serve SSE fan-out smoke (overhead + p99 latency gates) =="
 python benchmarks/bench_serve_load.py
 
@@ -38,12 +41,13 @@ GATE_DIR="$(mktemp -d)"
 trap 'rm -rf "$GATE_DIR"' EXIT
 REPRO_RUNS_DIR="$GATE_DIR" python -m repro run \
     --models GPT-4 LLMs4OL --taxonomies ebay --sample 24 > /dev/null
-# Accuracy is deterministic (seeded pools, simulated models), so the
-# gate is tight on it; throughput/p99 are machine-dependent, so those
-# thresholds only catch order-of-magnitude blowups.
+# Accuracy and cost are deterministic (seeded pools, simulated
+# models, fixed price cards), so the gate is tight on them;
+# throughput/p99 are machine-dependent, so those thresholds only
+# catch order-of-magnitude blowups.
 REPRO_RUNS_DIR="$GATE_DIR" python -m repro obs check \
     --baseline-file benchmarks/baselines/obs_check_baseline.json \
     --max-accuracy-drop 0.5 --max-throughput-drop 95 \
-    --max-p99-blowup 10000
+    --max-p99-blowup 10000 --max-cost-blowup 20
 
 echo "check.sh: all green"

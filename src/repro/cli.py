@@ -30,6 +30,9 @@
     python -m repro obs history --last 10
     python -m repro obs check --baseline <run-id> \\
         --max-accuracy-drop 1.0
+    python -m repro run --max-cost-usd 0.05 --models GPT-4 \\
+        --taxonomies ebay --sample 60
+    python -m repro obs cost <run-id> --json
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
@@ -67,8 +70,9 @@ from repro.experiments.statistics import table1_rows
 from repro.hybrid.case_study import CaseStudyConfig, run_case_study
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
-from repro.obs import (LedgerFollower, Thresholds, check_entries,
-                       chrome_trace, configure_logging, flame_report,
+from repro.obs import (AlertEvaluator, CostLedger, LedgerFollower,
+                       Thresholds, check_entries, chrome_trace,
+                       configure_logging, flame_report,
                        format_prometheus, latest_for, load_entry,
                        phase_table, read_history, read_spans_jsonl,
                        registry_from_spans, render_dashboard,
@@ -218,6 +222,16 @@ def _parser() -> argparse.ArgumentParser:
                           "(default: one per shard, capped at the "
                           "machine's cores; 0 = inline, for "
                           "debugging)")
+    run.add_argument("--max-cost-usd", type=float, default=None,
+                     metavar="USD",
+                     help="stop the run at the next cell boundary "
+                          "once the metered spend reaches this many "
+                          "dollars (resume later with `runs resume`)")
+    run.add_argument("--max-tokens", type=int, default=None,
+                     metavar="N",
+                     help="stop the run at the next cell boundary "
+                          "once this many prompt+completion tokens "
+                          "have been metered")
     run.add_argument("--json", action="store_true",
                      help="print the final summary as one JSON "
                           "object instead of the tables")
@@ -393,6 +407,11 @@ def _parser() -> argparse.ArgumentParser:
                            metavar="PCT",
                            help="tolerated p99 latency increase, "
                                 "percent of baseline")
+    obs_check.add_argument("--max-cost-blowup", type=float,
+                           default=defaults.cost_blowup_pct,
+                           metavar="PCT",
+                           help="tolerated run-cost increase, "
+                                "percent of baseline")
     obs_check.add_argument("--write-baseline", default=None,
                            metavar="PATH",
                            help="write the candidate entry to PATH "
@@ -400,6 +419,17 @@ def _parser() -> argparse.ArgumentParser:
     obs_check.add_argument("--json", action="store_true",
                            help="machine-readable report")
     _add_runs_dir(obs_check)
+
+    obs_cost = obs_commands.add_parser(
+        "cost", help="per-cell token/cost accounting folded from a "
+                     "run's ledger")
+    obs_cost.add_argument("run_id")
+    obs_cost.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    obs_cost.add_argument("--prometheus", action="store_true",
+                          help="labeled text-exposition series "
+                               "instead of the table")
+    _add_runs_dir(obs_cost)
     return parser
 
 
@@ -667,6 +697,14 @@ def _run_result_report(result, title: str,
               f"{result.replayed} replayed from ledger")
     if result.stats is not None:
         footer += "\n" + format_engine_stats(result.stats)
+    if result.budget is not None:
+        stop = result.budget
+        footer += (f"\nBUDGET EXHAUSTED ({stop['reason']}): stopped "
+                   f"at a cell boundary after "
+                   f"{stop['completed_cells']} cells, "
+                   f"${stop['spent_cost_usd']:.4f} / "
+                   f"{stop['spent_tokens']} tokens spent — finish "
+                   f"with `repro runs resume {result.run_id}`")
     return table + footer
 
 
@@ -683,6 +721,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
         retries=max(0, args.retries),
         batch_size=max(1, args.batch_size),
         coalesce=args.coalesce,
+        max_cost_usd=args.max_cost_usd,
+        max_tokens=args.max_tokens,
     )
     if args.shards > 0:
         result = execute_run_sharded(
@@ -757,11 +797,15 @@ def _watch(registry: RunRegistry, run_id: str, once: bool = False,
     render = ((lambda progress: json.dumps(progress.to_dict()))
               if as_json else render_dashboard)
     emit = print if as_json else None    # default: ANSI in-place
+    # The dashboard gets a live SLO banner; the JSON stream stays
+    # machine-parseable (alert frames live on the serve SSE stream).
+    evaluator = None if as_json else AlertEvaluator()
     try:
         progress = watch_run(run_id, registry=registry,
                              interval_s=interval_s,
                              stall_deadline_s=stall_after,
-                             render=render, emit=emit)
+                             render=render, emit=emit,
+                             evaluator=evaluator)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return f"\nstopped watching {run_id}"
     return (f"run {run_id} finished: accuracy "
@@ -903,7 +947,10 @@ def _cmd_runs_diff(args: argparse.Namespace) -> str:
                    f"({perf['wall_delta_s']:+.3f}s), throughput: "
                    f"{perf['throughput_a']:.1f} -> "
                    f"{perf['throughput_b']:.1f} q/s "
-                   f"({perf['throughput_delta']:+.1f})")
+                   f"({perf['throughput_delta']:+.1f}), cost: "
+                   f"${perf['cost_a_usd']:.4f} -> "
+                   f"${perf['cost_b_usd']:.4f} "
+                   f"({perf['cost_delta_usd']:+.4f})")
     if diff.only_in_a:
         footer += f"\nonly in {diff.run_a}: " + \
             ", ".join(diff.only_in_a)
@@ -993,7 +1040,8 @@ def _cmd_obs_check(args: argparse.Namespace) -> "str | tuple[str, int]":
     report = check_entries(baseline, candidate, Thresholds(
         accuracy_drop_pts=args.max_accuracy_drop,
         throughput_drop_pct=args.max_throughput_drop,
-        p99_blowup_pct=args.max_p99_blowup))
+        p99_blowup_pct=args.max_p99_blowup,
+        cost_blowup_pct=args.max_cost_blowup))
     code = 0 if report.passed else 1
     if args.json:
         return json.dumps(report.to_dict(), indent=1), code
@@ -1007,12 +1055,27 @@ def _cmd_obs_check(args: argparse.Namespace) -> "str | tuple[str, int]":
     return table + "\n" + verdict, code
 
 
+def _cmd_obs_cost(args: argparse.Namespace) -> str:
+    ledger = CostLedger.from_run(args.run_id,
+                                 registry=_registry(args))
+    if args.json:
+        return json.dumps(ledger.to_dict(), indent=1)
+    if args.prometheus:
+        return ledger.to_prometheus().rstrip("\n")
+    if not ledger.cells:
+        return (f"run {args.run_id} has no completed cells yet — "
+                f"nothing to account")
+    return format_rows(ledger.rows(),
+                       title=f"Cost accounting: run {args.run_id}")
+
+
 _OBS_COMMANDS = {
     "trace": _cmd_obs_trace,
     "metrics": _cmd_obs_metrics,
     "report": _cmd_obs_report,
     "history": _cmd_obs_history,
     "check": _cmd_obs_check,
+    "cost": _cmd_obs_cost,
 }
 
 

@@ -20,7 +20,14 @@ from repro.questions.model import Answer
 
 @dataclass(frozen=True, slots=True)
 class QuestionRecord:
-    """One (model, question) interaction, fully materialized."""
+    """One (model, question) interaction, fully materialized.
+
+    The token counts are pure functions of the prompt and response
+    text (``repro.obs.cost.count_tokens``), so a record is
+    bit-identical whether it was produced sequentially, through the
+    engine, or on a shard — and records persisted before token
+    accounting existed decode with both counts at 0.
+    """
 
     question_uid: str
     model: str
@@ -28,6 +35,8 @@ class QuestionRecord:
     response: str
     parsed: Answer
     expected: Answer
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
 
     @property
     def missed(self) -> bool:
@@ -64,7 +73,7 @@ def metrics_from_records(records: list[QuestionRecord]) -> Metrics:
 # ----------------------------------------------------------------------
 # JSON codec (ledger events, run registry round trips)
 # ----------------------------------------------------------------------
-def record_to_dict(record: QuestionRecord) -> dict[str, str]:
+def record_to_dict(record: QuestionRecord) -> dict[str, object]:
     """A JSON-compatible dict; inverse of :func:`record_from_dict`."""
     return {
         "uid": record.question_uid,
@@ -73,11 +82,17 @@ def record_to_dict(record: QuestionRecord) -> dict[str, str]:
         "response": record.response,
         "parsed": Answer(record.parsed).value,
         "expected": Answer(record.expected).value,
+        "prompt_tokens": record.prompt_tokens,
+        "completion_tokens": record.completion_tokens,
     }
 
 
 def record_from_dict(payload: dict) -> QuestionRecord:
-    """Rebuild a record; decoded records score identically to live ones."""
+    """Rebuild a record; decoded records score identically to live ones.
+
+    The token fields default to 0 so ledgers written before token
+    accounting existed still decode (and replay bit-identically).
+    """
     return QuestionRecord(
         question_uid=payload["uid"],
         model=payload["model"],
@@ -85,6 +100,8 @@ def record_from_dict(payload: dict) -> QuestionRecord:
         response=payload["response"],
         parsed=Answer(payload["parsed"]),
         expected=Answer(payload["expected"]),
+        prompt_tokens=int(payload.get("prompt_tokens", 0)),
+        completion_tokens=int(payload.get("completion_tokens", 0)),
     )
 
 

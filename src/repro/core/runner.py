@@ -38,6 +38,7 @@ from repro.core.results import (PoolResult, QuestionRecord,
 from repro.llm.base import ChatModel
 from repro.llm.parsing import parse_answer
 from repro.llm.prompting import PromptSetting, build_prompt
+from repro.obs.cost import call_cost_nanos, count_tokens
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.questions.model import Question
 from repro.questions.pools import QuestionPool
@@ -86,6 +87,9 @@ class EvaluationRunner:
                               variant=self.variant)
         response = model.generate(prompt)
         parsed = parse_answer(response, question)
+        # Token counts resolve by model *name* (stable through every
+        # middleware wrapper), so the stamped record is bit-identical
+        # whether the call ran sequentially, engined, or on a shard.
         return QuestionRecord(
             question_uid=question.uid,
             model=model.name,
@@ -93,6 +97,8 @@ class EvaluationRunner:
             response=response,
             parsed=parsed,
             expected=question.expected_answer,
+            prompt_tokens=count_tokens(prompt, model.name),
+            completion_tokens=count_tokens(response, model.name),
         )
 
     # ------------------------------------------------------------------
@@ -125,6 +131,12 @@ class EvaluationRunner:
                                       pool_questions=pool_questions)
                 if self.telemetry is not None:
                     self.telemetry.record_call()
+                    self.telemetry.record_tokens(
+                        record.prompt_tokens,
+                        record.completion_tokens,
+                        call_cost_nanos(record.model,
+                                        record.prompt_tokens,
+                                        record.completion_tokens))
                     self.telemetry.record_work(
                         time.perf_counter() - started)
                 if ledger is not None:

@@ -80,6 +80,15 @@ def merge_stats(stats_list: list[EngineStats]) -> EngineStats | None:
         wall_time_s=max(stats.wall_time_s for stats in stats_list),
         busy_time_s=sum(stats.busy_time_s for stats in stats_list),
         workers=sum(stats.workers for stats in stats_list),
+        # Integer nano-dollar sums are associative, so the merged
+        # totals are bit-identical to the single-process run's —
+        # unlike the latency quantiles, cost is *inside* the
+        # determinism contract.
+        prompt_tokens=sum(stats.prompt_tokens
+                          for stats in stats_list),
+        completion_tokens=sum(stats.completion_tokens
+                              for stats in stats_list),
+        cost_nanos=sum(stats.cost_nanos for stats in stats_list),
         latency_p50_s=weighted("latency_p50_s"),
         latency_p90_s=weighted("latency_p90_s"),
         latency_p99_s=weighted("latency_p99_s"),

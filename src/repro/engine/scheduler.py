@@ -42,6 +42,8 @@ from repro.engine.telemetry import EngineStats, Telemetry
 from repro.llm.base import (ChatModel, async_batch_fn,
                             call_generate_batch,
                             supports_generate_batch)
+from repro.obs.cost import (DEFAULT_TOKEN_COUNTER, CostMeter,
+                            price_for)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 R = TypeVar("R")
@@ -127,8 +129,12 @@ class EvaluationEngine:
     def wrap(self, model: ChatModel) -> ChatModel:
         """Apply the middleware stack (documented order) to a model.
 
-        Outermost to innermost: coalesce → cache → retry → rate limit
-        → timeout → batch → counting → backend.  The coalescer sits
+        Outermost to innermost: coalesce → cache → retry → cost →
+        rate limit → timeout → batch → counting → backend.  The
+        cost meter sits *inside* the retry loop, so every re-attempt
+        is billed for the prompt tokens it re-sends (exactly what a
+        real endpoint charges), and *inside* the cache, so a hit
+        never reaches it and costs zero.  The coalescer sits
         *outside* the cache so that when a leader returns, its
         response is already cached — a duplicate can never slip
         between the leader finishing and the cache learning the
@@ -156,6 +162,13 @@ class EvaluationEngine:
             wrapped = RateLimitedModel(
                 wrapped, TokenBucket(self.config.rate,
                                      self.config.burst))
+        # Counter resolved against the *raw* backend so a registered
+        # per-name override or a backend count_tokens hook is found
+        # even though this layer wraps middleware, not the backend.
+        wrapped = CostMeter(
+            wrapped, self.telemetry,
+            counter=DEFAULT_TOKEN_COUNTER.resolve(model),
+            price=price_for(model.name))
         if self.config.retry is not None:
             wrapped = RetryingModel(wrapped, self.config.retry,
                                     telemetry=self.telemetry,

@@ -32,6 +32,9 @@ BATCHES = "repro_engine_batches_total"
 COALESCED = "repro_engine_coalesced_total"
 HEDGES = "repro_engine_hedged_total"
 ADAPTIVE_HIGH_WATER = "repro_engine_adaptive_limit_high_water"
+PROMPT_TOKENS = "repro_engine_prompt_tokens_total"
+COMPLETION_TOKENS = "repro_engine_completion_tokens_total"
+COST_NANOS = "repro_engine_cost_nanos_total"
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +78,21 @@ class EngineStats:
     coalesced: int = 0
     hedged: int = 0
     adaptive_high_water: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    #: Accumulated spend in integer nano-dollars.  Integer addition is
+    #: associative, so shard-merged totals equal single-process totals
+    #: bit for bit — a float dollar sum could not promise that.
+    cost_nanos: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    @property
+    def cost_usd(self) -> float:
+        """Accumulated spend in dollars (derived, display/compare)."""
+        return self.cost_nanos / 1e9
 
     @property
     def mean_latency_s(self) -> float:
@@ -127,6 +145,10 @@ class EngineStats:
             "coalesced": self.coalesced,
             "hedged": self.hedged,
             "adaptive_high_water": self.adaptive_high_water,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "cost_nanos": self.cost_nanos,
+            "cost_usd": self.cost_usd,
         }
 
     @classmethod
@@ -145,7 +167,8 @@ class EngineStats:
                     "latency_min_s", "latency_max_s"):
             stats[key] = float(payload.get(key, 0.0))
         for key in ("batches", "coalesced", "hedged",
-                    "adaptive_high_water"):
+                    "adaptive_high_water", "prompt_tokens",
+                    "completion_tokens", "cost_nanos"):
             stats[key] = int(payload.get(key, 0))
         return cls(**stats)
 
@@ -164,6 +187,8 @@ class EngineStats:
             "coalesced": self.coalesced,
             "hedged": self.hedged,
             "adaptive_hw": self.adaptive_high_water,
+            "tokens": self.total_tokens,
+            "cost_usd": f"{self.cost_usd:.4f}",
             "workers": self.workers,
             "wall_s": f"{self.wall_time_s:.3f}",
             "q_per_s": f"{self.throughput:.1f}",
@@ -209,6 +234,12 @@ class Telemetry:
             HEDGES, "hedge requests launched by a backend pool")
         self._adaptive_hw = r.gauge(
             ADAPTIVE_HIGH_WATER, "AIMD concurrency window high water")
+        self._prompt_tokens = r.counter(
+            PROMPT_TOKENS, "prompt tokens sent to backends")
+        self._completion_tokens = r.counter(
+            COMPLETION_TOKENS, "completion tokens returned")
+        self._cost_nanos = r.counter(
+            COST_NANOS, "accumulated spend in nano-dollars")
 
     # ------------------------------------------------------------------
     # Recording (called from worker threads)
@@ -256,6 +287,14 @@ class Telemetry:
         """Track the AIMD window's high-water mark."""
         self._adaptive_hw.set_max(int(limit))
 
+    def record_tokens(self, prompt_tokens: int,
+                      completion_tokens: int,
+                      cost_nanos: int) -> None:
+        """One billed backend attempt (see ``repro.obs.cost``)."""
+        self._prompt_tokens.add(prompt_tokens)
+        self._completion_tokens.add(completion_tokens)
+        self._cost_nanos.add(cost_nanos)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> EngineStats:
         """Freeze the registry into an immutable stats value."""
@@ -279,6 +318,9 @@ class Telemetry:
             coalesced=int(self._coalesced.value),
             hedged=int(self._hedges.value),
             adaptive_high_water=int(self._adaptive_hw.value),
+            prompt_tokens=int(self._prompt_tokens.value),
+            completion_tokens=int(self._completion_tokens.value),
+            cost_nanos=int(self._cost_nanos.value),
         )
 
     def reset(self) -> None:

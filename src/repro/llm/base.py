@@ -5,8 +5,8 @@ calibrated simulators plug in behind the same two members: a ``name``
 and ``generate(prompt) -> str``.  The evaluation harness knows nothing
 else about its models.
 
-Backends may additionally implement two *optional* members the
-batched engine core negotiates at call time:
+Backends may additionally implement *optional* members the engine
+core negotiates at call time:
 
 * ``generate_batch(prompts) -> list[str]`` — answer several prompts
   in one backend round trip (a vLLM-style continuous-batching server,
@@ -18,9 +18,14 @@ batched engine core negotiates at call time:
 * ``agenerate_batch(prompts)`` — the asyncio-native variant, awaited
   directly on the batching dispatcher's event loop so a coroutine
   backend never burns an executor thread.
+* ``count_tokens(text) -> int`` — the backend's own tokenizer.  The
+  cost accounting layer (:mod:`repro.obs.cost`) resolves a counter
+  per model — a registered per-name override first, then this hook,
+  then the deterministic chars/4 heuristic — so a backend wrapping a
+  real tokenizer is billed on its true token counts.
 
-Both are pure capability markers: a backend that implements neither
-behaves exactly as before.
+All are pure capability markers: a backend that implements none of
+them behaves exactly as before.
 """
 
 from __future__ import annotations

@@ -15,6 +15,12 @@ The observability layer for the whole evaluation stack.  Four pieces:
   Chrome ``trace_event`` JSON for chrome://tracing, Prometheus text.
 * ``report`` — per-phase wall-clock attribution and an ASCII
   flamegraph for terminals.
+* ``cost`` — deterministic token counting, per-model pricing, the
+  engine's :class:`CostMeter` middleware, per-run budget enforcement
+  (:class:`BudgetGuard`) and the per-cell :class:`CostLedger`.
+* ``alerts`` — declarative SLO rules (:class:`AlertRule`) evaluated
+  over live follower snapshots by an :class:`AlertEvaluator` with
+  ``for_s`` debounce and firing/resolved transitions.
 
 Quickstart::
 
@@ -29,10 +35,18 @@ Quickstart::
     True
 """
 
+from repro.obs.alerts import (DEFAULT_RULES, AlertEvaluator,
+                              AlertEvent, AlertRule)
+from repro.obs.cost import (DEFAULT_TOKEN_COUNTER, BudgetGuard,
+                            BudgetStop, CostCell, CostLedger,
+                            CostMeter, ModelPrice, TokenCounter,
+                            call_cost_nanos, count_tokens,
+                            nanos_to_usd, price_for, pricing_table,
+                            usd_to_nanos)
 from repro.obs.export import (JsonlSpanSink, chrome_trace,
-                              format_prometheus, read_spans_jsonl,
-                              registry_from_spans, span_tree,
-                              write_spans_jsonl)
+                              escape_label_value, format_prometheus,
+                              read_spans_jsonl, registry_from_spans,
+                              span_tree, write_spans_jsonl)
 from repro.obs.history import (CheckResult, HistoryEntry,
                                RegressionReport, Thresholds,
                                append_entry, check_entries,
@@ -51,10 +65,20 @@ from repro.obs.report import (flame_report, phase_chart, phase_rows,
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer)
 
 __all__ = [
+    "AlertEvaluator",
+    "AlertEvent",
+    "AlertRule",
+    "BudgetGuard",
+    "BudgetStop",
     "CellProgress",
     "CheckResult",
+    "CostCell",
+    "CostLedger",
+    "CostMeter",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_RULES",
+    "DEFAULT_TOKEN_COUNTER",
     "Gauge",
     "Histogram",
     "HistoryEntry",
@@ -64,18 +88,23 @@ __all__ = [
     "JsonlTail",
     "LedgerFollower",
     "MetricsRegistry",
+    "ModelPrice",
     "NULL_TRACER",
     "NullTracer",
     "RegressionReport",
     "RunProgress",
     "Span",
     "Thresholds",
+    "TokenCounter",
     "Tracer",
     "append_entry",
+    "call_cost_nanos",
     "check_entries",
     "chrome_trace",
     "configure_logging",
+    "count_tokens",
     "entry_from_result",
+    "escape_label_value",
     "flame_report",
     "format_prometheus",
     "get_logger",
@@ -83,14 +112,18 @@ __all__ = [
     "iter_jsonl",
     "latest_for",
     "load_entry",
+    "nanos_to_usd",
     "phase_chart",
     "phase_rows",
     "phase_table",
+    "price_for",
+    "pricing_table",
     "read_history",
     "read_spans_jsonl",
     "registry_from_spans",
     "render_dashboard",
     "span_tree",
+    "usd_to_nanos",
     "watch_run",
     "write_entry",
     "write_spans_jsonl",

@@ -1,0 +1,251 @@
+"""Declarative SLO alerting over live run snapshots.
+
+An :class:`AlertRule` names a metric derived from a
+:class:`repro.obs.live.RunProgress` snapshot (error rate, p99
+latency, throughput floor, stall, cost burn rate), a comparison
+against a threshold, a ``for_s`` debounce window, and a severity.
+An :class:`AlertEvaluator` holds a rule set and is fed successive
+snapshots — by ``repro watch`` (which renders firing alerts as a
+dashboard banner) and by the serve layer's follower broadcast (which
+publishes firing/resolved transitions as ``alert`` frames on the SSE
+stream).  Transitions are also logged as structured events, so a
+log-scraping pager sees the same signal the dashboards do.
+
+The evaluator is deliberately edge-triggered: a rule *fires* only
+after its condition has held continuously for ``for_s`` seconds, and
+emits exactly one ``firing`` event and one ``resolved`` event per
+episode.  Metrics with no data yet (a run that has not answered a
+question cannot have a throughput) return ``None`` and leave the
+rule untouched — a cold start never pages.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.obs.live import RunProgress
+
+_log = logging.getLogger("repro.obs.alerts")
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+_SEVERITIES = ("info", "warning", "critical")
+
+
+# ----------------------------------------------------------------------
+# Metrics over a snapshot
+# ----------------------------------------------------------------------
+def _error_rate(progress: "RunProgress") -> float | None:
+    if progress.questions_done <= 0:
+        return None
+    return progress.faults / progress.questions_done
+
+
+def _p99_latency(progress: "RunProgress") -> float | None:
+    if progress.latency_p99_s <= 0.0:
+        return None                    # tracing off: no basis
+    return progress.latency_p99_s
+
+
+def _throughput(progress: "RunProgress") -> float | None:
+    if progress.questions_done <= 0 or progress.elapsed_s <= 0.0:
+        return None                    # cold start: no basis
+    return progress.throughput
+
+
+def _stalled(progress: "RunProgress") -> float | None:
+    return 1.0 if progress.status == "stalled" else 0.0
+
+
+def _cost_burn(progress: "RunProgress") -> float | None:
+    if progress.elapsed_s <= 0.0:
+        return None
+    cost_usd = getattr(progress, "cost_usd", 0.0)
+    return cost_usd / progress.elapsed_s * 60.0
+
+
+#: metric name -> extractor(RunProgress) -> value (None = no data).
+METRICS: dict[str, Callable[["RunProgress"], float | None]] = {
+    "error_rate": _error_rate,
+    "p99_latency_s": _p99_latency,
+    "throughput": _throughput,
+    "stalled": _stalled,
+    "cost_burn_usd_per_min": _cost_burn,
+}
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class AlertRule:
+    """One SLO: ``metric op threshold`` held for ``for_s`` seconds."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    for_s: float = 0.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown alert metric {self.metric!r}; choose from "
+                f"{sorted(METRICS)}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}; "
+                             f"choose from {sorted(_OPS)}")
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"severity must be one of "
+                             f"{_SEVERITIES}, got {self.severity!r}")
+        if self.for_s < 0:
+            raise ValueError("for_s must be non-negative")
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        return (f"{self.metric} {self.op} {self.threshold:g}"
+                + (f" for {self.for_s:g}s" if self.for_s else ""))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "metric": self.metric,
+                "op": self.op, "threshold": self.threshold,
+                "for_s": self.for_s, "severity": self.severity}
+
+
+#: The built-in SLO set ``repro watch`` and ``repro serve`` evaluate.
+DEFAULT_RULES: tuple[AlertRule, ...] = (
+    AlertRule("high-error-rate", "error_rate", ">", 0.05,
+              severity="warning"),
+    AlertRule("p99-latency", "p99_latency_s", ">", 5.0,
+              severity="warning"),
+    AlertRule("throughput-floor", "throughput", "<", 0.5,
+              for_s=5.0, severity="warning"),
+    AlertRule("run-stalled", "stalled", ">", 0.5,
+              severity="critical"),
+    AlertRule("cost-burn-rate", "cost_burn_usd_per_min", ">", 1.0,
+              severity="critical"),
+)
+
+
+@dataclass(slots=True)
+class AlertEvent:
+    """One firing/resolved transition."""
+
+    rule: AlertRule
+    state: str                         # firing | resolved
+    value: float | None
+    ts: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {"rule": self.rule.name, "state": self.state,
+                "severity": self.rule.severity,
+                "metric": self.rule.metric, "op": self.rule.op,
+                "threshold": self.rule.threshold,
+                "value": self.value, "ts": self.ts,
+                "condition": self.rule.describe()}
+
+
+@dataclass(slots=True)
+class _RuleState:
+    rule: AlertRule
+    breaching_since: float | None = None
+    firing: bool = False
+    value: float | None = None
+
+
+class AlertEvaluator:
+    """Stateful rule evaluation over a stream of snapshots.
+
+    Feed :meth:`observe` each new :class:`RunProgress`; it returns the
+    transitions (possibly empty).  :attr:`active` lists currently
+    firing rules for banner rendering; :meth:`assess` reports every
+    rule's instantaneous status for one-shot endpoints (debounce
+    cannot apply to a single observation, so ``assess`` reports the
+    raw condition alongside the evaluator's debounced state).
+    """
+
+    def __init__(self, rules: tuple[AlertRule, ...] = DEFAULT_RULES,
+                 clock: Callable[[], float] = time.time):
+        self._states = [_RuleState(rule=rule) for rule in rules]
+        self._clock = clock
+
+    @property
+    def rules(self) -> tuple[AlertRule, ...]:
+        return tuple(state.rule for state in self._states)
+
+    @property
+    def active(self) -> list[AlertRule]:
+        """Currently firing rules, most severe first."""
+        firing = [state for state in self._states if state.firing]
+        order = {sev: i for i, sev in enumerate(_SEVERITIES)}
+        firing.sort(key=lambda state: (-order[state.rule.severity],
+                                       state.rule.name))
+        return [state.rule for state in firing]
+
+    # ------------------------------------------------------------------
+    def observe(self, progress: "RunProgress",
+                now: float | None = None) -> list[AlertEvent]:
+        """Fold one snapshot; return firing/resolved transitions."""
+        now = self._clock() if now is None else now
+        events: list[AlertEvent] = []
+        for state in self._states:
+            value = METRICS[state.rule.metric](progress)
+            state.value = value
+            breached = value is not None and state.rule.breached(value)
+            if breached:
+                if state.breaching_since is None:
+                    state.breaching_since = now
+                held = now - state.breaching_since
+                if not state.firing and held >= state.rule.for_s:
+                    state.firing = True
+                    events.append(AlertEvent(state.rule, "firing",
+                                             value, now))
+            else:
+                state.breaching_since = None
+                if state.firing:
+                    state.firing = False
+                    events.append(AlertEvent(state.rule, "resolved",
+                                             value, now))
+        for event in events:
+            log = (_log.warning if event.state == "firing"
+                   else _log.info)
+            log("alert-%s rule=%s severity=%s run=%s value=%s "
+                "condition=%r", event.state, event.rule.name,
+                event.rule.severity, progress.run_id,
+                ("n/a" if event.value is None
+                 else f"{event.value:.4f}"), event.rule.describe())
+        return events
+
+    def assess(self, progress: "RunProgress") -> list[dict[str, object]]:
+        """Instantaneous per-rule status (``GET /runs/<id>/alerts``)."""
+        rows: list[dict[str, object]] = []
+        for state in self._states:
+            value = METRICS[state.rule.metric](progress)
+            breached = (value is not None
+                        and state.rule.breached(value))
+            rows.append({**state.rule.to_dict(), "value": value,
+                         "breached": breached,
+                         "firing": state.firing})
+        return rows
+
+    def banner(self) -> str | None:
+        """One dashboard line summarizing the firing rules."""
+        active = self.active
+        if not active:
+            return None
+        parts = [f"{rule.severity.upper()} {rule.name} "
+                 f"({rule.describe()})" for rule in active]
+        return "!! ALERTS: " + " · ".join(parts)

@@ -162,6 +162,23 @@ def span_tree(spans) -> dict[int | None, list[Span]]:
 # ----------------------------------------------------------------------
 # Prometheus text format
 # ----------------------------------------------------------------------
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote and line feed are the three characters the
+    text format requires escaping inside ``label="value"`` — in that
+    order (backslash first, or the escapes themselves get re-escaped).
+    Everything emitting labeled series (here and
+    ``repro.obs.cost.CostLedger.to_prometheus``) must route label
+    values through this, or a taxonomy name containing a quote would
+    produce an unparseable exposition.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def format_prometheus(registry: MetricsRegistry) -> str:
     """Text-format dump of every metric in ``registry``.
 
@@ -185,7 +202,9 @@ def format_prometheus(registry: MetricsRegistry) -> str:
                                 metric.bucket_counts()):
             cumulative += count
             lines.append(
-                f'{name}_bucket{{le="{_num(bound)}"}} {cumulative}')
+                f'{name}_bucket'
+                f'{{le="{escape_label_value(_num(bound))}"}} '
+                f'{cumulative}')
         lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
         lines.append(f"{name}_sum {_num(metric.total)}")
         lines.append(f"{name}_count {metric.count}")

@@ -11,7 +11,8 @@ run regress past what we tolerate?".
 ``repro obs history`` lists the series; ``repro obs check --baseline
 <run-id>`` compares the latest entry against a baseline with
 configurable thresholds — accuracy drop in percentage points,
-throughput drop in percent, p99 latency blowup in percent — and exits
+throughput drop in percent, p99 latency blowup in percent, run cost
+blowup in percent — and exits
 non-zero on violation, which is what ``scripts/check.sh`` and CI wire
 in as an SLO gate against a committed baseline entry.
 """
@@ -71,9 +72,19 @@ class HistoryEntry:
     #: check baselines recorded at different fan-outs stay
     #: distinguishable even though their metrics must be identical.
     shards: int = 1
+    #: Token/cost accounting (0 on entries and ledgers that predate
+    #: cost metering — the schema is backward-compatible and the
+    #: gate skips a cost check whose baseline is zero).
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_nanos: int = 0
     #: Per-cell accuracy (cell id -> accuracy), the unit the
     #: regression gate compares.
     cell_accuracy: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cost_usd(self) -> float:
+        return self.cost_nanos / 1e9
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -95,6 +106,9 @@ class HistoryEntry:
             "coalesced": self.coalesced,
             "hedged": self.hedged,
             "shards": self.shards,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "cost_nanos": self.cost_nanos,
             "cell_accuracy": dict(self.cell_accuracy),
         }
 
@@ -121,6 +135,10 @@ class HistoryEntry:
                 coalesced=int(payload.get("coalesced", 0)),
                 hedged=int(payload.get("hedged", 0)),
                 shards=int(payload.get("shards", 1)),
+                prompt_tokens=int(payload.get("prompt_tokens", 0)),
+                completion_tokens=int(payload.get("completion_tokens",
+                                                  0)),
+                cost_nanos=int(payload.get("cost_nanos", 0)),
                 cell_accuracy={
                     str(cell): float(acc)
                     for cell, acc in dict(
@@ -146,6 +164,8 @@ class HistoryEntry:
             "p50_ms": f"{self.latency_p50_s * 1e3:.2f}",
             "p99_ms": f"{self.latency_p99_s * 1e3:.2f}",
             "hit_rate": f"{self.cache_hit_rate:.3f}",
+            "tokens": self.prompt_tokens + self.completion_tokens,
+            "cost_usd": f"{self.cost_usd:.4f}",
             "batches": self.batches,
             "coalesced": self.coalesced,
             "hedged": self.hedged,
@@ -190,6 +210,11 @@ def entry_from_result(run_id: str, dataset: str,
         coalesced=(getattr(stats, "coalesced", 0) if stats else 0),
         hedged=(getattr(stats, "hedged", 0) if stats else 0),
         shards=max(1, shards),
+        prompt_tokens=(getattr(stats, "prompt_tokens", 0)
+                       if stats else 0),
+        completion_tokens=(getattr(stats, "completion_tokens", 0)
+                           if stats else 0),
+        cost_nanos=(getattr(stats, "cost_nanos", 0) if stats else 0),
         cell_accuracy={cell_id: metrics.accuracy
                        for cell_id, metrics
                        in sorted(cell_metrics.items())},
@@ -277,6 +302,8 @@ class Thresholds:
     throughput_drop_pct: float = 50.0
     #: Maximum p99 latency increase, percent of the baseline.
     p99_blowup_pct: float = 200.0
+    #: Maximum run-cost increase, percent of the baseline.
+    cost_blowup_pct: float = 20.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -387,6 +414,16 @@ def check_entries(baseline: HistoryEntry, candidate: HistoryEntry,
             candidate=candidate.latency_p99_s, delta=blowup_pct,
             limit=thresholds.p99_blowup_pct,
             ok=blowup_pct <= thresholds.p99_blowup_pct))
+
+    if baseline.cost_nanos > 0:
+        cost_pct = (candidate.cost_nanos
+                    / baseline.cost_nanos - 1.0) * 100.0
+        checks.append(CheckResult(
+            metric="cost_blowup_pct", scope="overall",
+            baseline=baseline.cost_usd,
+            candidate=candidate.cost_usd, delta=cost_pct,
+            limit=thresholds.cost_blowup_pct,
+            ok=cost_pct <= thresholds.cost_blowup_pct))
 
     return RegressionReport(
         baseline_id=baseline.run_id, candidate_id=candidate.run_id,

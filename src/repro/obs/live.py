@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import LedgerCorruptError
+from repro.obs.cost import call_cost_nanos
 from repro.obs.jsonl import JsonlTail
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.obs.tracer import Span
@@ -105,6 +106,15 @@ class RunProgress:
     heartbeat_age_s: float | None     # None when no heartbeat exists
     progress_age_s: float | None      # since the ledger last advanced
     stall_deadline_s: float
+    #: Token/cost accounting over the records streamed so far —
+    #: priced from the record token counts, so the totals are live
+    #: long before the run-finished stats snapshot exists (and 0 on
+    #: ledgers that predate cost metering).
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_nanos: int = 0
+    #: Budget-exhausted payload once a spend ceiling stopped the run.
+    budget: dict | None = None
     cells: list[CellProgress] = field(default_factory=list)
 
     @property
@@ -119,6 +129,10 @@ class RunProgress:
         if self.questions_planned <= 0:
             return 1.0 if self.finished else 0.0
         return min(1.0, self.questions_done / self.questions_planned)
+
+    @property
+    def cost_usd(self) -> float:
+        return self.cost_nanos / 1e9
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -144,6 +158,11 @@ class RunProgress:
             "heartbeat_age_s": self.heartbeat_age_s,
             "progress_age_s": self.progress_age_s,
             "stall_deadline_s": self.stall_deadline_s,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "cost_nanos": self.cost_nanos,
+            "cost_usd": self.cost_usd,
+            "budget": self.budget,
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -250,6 +269,9 @@ class LedgerFollower:
         questions_done = 0
         correct = 0
         expected_started = 0
+        prompt_tokens = 0
+        completion_tokens = 0
+        cost_nanos = 0
         for cell_id, cell_state in self.state.cells.items():
             done = len(cell_state.records)
             cell_correct = sum(
@@ -262,6 +284,20 @@ class LedgerFollower:
             questions_done += done
             correct += cell_correct
             expected_started += cell_state.expected_n
+            cell_prompt = sum(record.prompt_tokens
+                              for record in
+                              cell_state.records.values())
+            cell_completion = sum(record.completion_tokens
+                                  for record in
+                                  cell_state.records.values())
+            prompt_tokens += cell_prompt
+            completion_tokens += cell_completion
+            # Per-token pricing is linear, so pricing the cell's token
+            # sums equals summing per-record costs — one lookup per
+            # cell instead of one per record.
+            cost_nanos += call_cost_nanos(
+                cell_id.split("|", 1)[0], cell_prompt,
+                cell_completion)
 
         cells_started = len(cells)
         cells_done = sum(1 for cell in cells if cell.complete)
@@ -323,6 +359,10 @@ class LedgerFollower:
             heartbeat_age_s=heartbeat_age,
             progress_age_s=progress_age,
             stall_deadline_s=self.stall_deadline_s,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            cost_nanos=cost_nanos,
+            budget=self.state.budget,
             cells=sorted(cells, key=lambda cell: cell.cell_id))
 
 
@@ -363,6 +403,7 @@ def render_dashboard(progress: RunProgress) -> str:
          f"p50 {progress.latency_p50_s * 1e3:.1f}ms · "
          f"p99 {progress.latency_p99_s * 1e3:.1f}ms · "
          f"retries {progress.retries} · faults {progress.faults} · "
+         f"cost ${progress.cost_usd:.4f} · "
          f"eta {_eta(progress.eta_s)}"),
         (f"heartbeat {_age(progress.heartbeat_age_s)} · "
          f"ledger {_age(progress.progress_age_s)} · "
@@ -371,6 +412,9 @@ def render_dashboard(progress: RunProgress) -> str:
     if progress.status == "stalled":
         lines.append("!! stalled: neither ledger nor heartbeat "
                      "advanced within the deadline")
+    if progress.budget:
+        lines.append("!! budget exhausted: the run stopped at a cell "
+                     "boundary — `repro runs resume` completes it")
     width = max((len(cell.cell_id) for cell in progress.cells),
                 default=0)
     for cell in progress.cells:
@@ -391,12 +435,16 @@ def watch_run(run_id: str, registry: "RunRegistry | None" = None,
               clock=time.time,
               render=render_dashboard,
               emit=None,
-              until_finished: bool = True) -> RunProgress:
+              until_finished: bool = True,
+              evaluator=None) -> RunProgress:
     """Poll + render in place until the run finishes (or forever).
 
     ``emit`` receives each rendered frame (defaults to printing with
     an ANSI home+clear prefix so the dashboard redraws in place);
-    returns the final snapshot.
+    returns the final snapshot.  ``evaluator`` is an optional
+    :class:`repro.obs.alerts.AlertEvaluator`: each snapshot is fed
+    through it and any firing rules are prepended to the frame as an
+    alert banner (transitions are logged by the evaluator itself).
     """
     follower = LedgerFollower(run_id, registry=registry,
                               stall_deadline_s=stall_deadline_s,
@@ -408,7 +456,13 @@ def watch_run(run_id: str, registry: "RunRegistry | None" = None,
     emit = emit if emit is not None else _print
     while True:
         progress = follower.poll()
-        emit(render(progress))
+        frame = render(progress)
+        if evaluator is not None:
+            evaluator.observe(progress)
+            banner = evaluator.banner()
+            if banner:
+                frame = banner + "\n" + frame
+        emit(frame)
         if until_finished and progress.finished:
             return progress
         time.sleep(interval_s)

@@ -122,8 +122,8 @@ class RunDiff:
                 and not self.only_in_b)
 
     def perf_summary(self) -> dict[str, float] | None:
-        """Wall-clock and throughput deltas, when both runs have
-        persisted stats (``None`` otherwise)."""
+        """Wall-clock, throughput and cost deltas, when both runs
+        have persisted stats (``None`` otherwise)."""
         if self.stats_a is None or self.stats_b is None:
             return None
         return {
@@ -135,6 +135,10 @@ class RunDiff:
             "throughput_b": self.stats_b.throughput,
             "throughput_delta": (self.stats_b.throughput
                                  - self.stats_a.throughput),
+            "cost_a_usd": self.stats_a.cost_usd,
+            "cost_b_usd": self.stats_b.cost_usd,
+            "cost_delta_usd": (self.stats_b.cost_usd
+                               - self.stats_a.cost_usd),
         }
 
     def rows(self) -> list[dict[str, object]]:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import re
 import time
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.results import PoolResult
 from repro.core.runner import EvaluationRunner
@@ -28,6 +28,7 @@ from repro.llm.base import ChatModel
 from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.core.metrics import Metrics
+from repro.obs.cost import BudgetGuard, BudgetStop
 from repro.obs.export import JsonlSpanSink
 from repro.obs.history import append_entry, entry_from_result
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
@@ -103,6 +104,10 @@ class RunResult:
     replayed: int = 0
     #: Cells this invocation re-entered partway (resume only).
     resumed_cells: tuple[str, ...] = field(default=())
+    #: Budget-stop payload when a spend ceiling halted the run early
+    #: (see :class:`repro.obs.cost.BudgetStop`); ``None`` = ran to
+    #: completion.
+    budget: dict | None = None
 
     def matrix(self, setting: str | None = None
                ) -> dict[tuple[str, str], Metrics]:
@@ -177,6 +182,23 @@ def _build_engine(request: RunRequest) -> EvaluationEngine | None:
     return EvaluationEngine(config)
 
 
+def _spent_since(engine: EvaluationEngine | None,
+                 telemetry: Telemetry | None,
+                 base: EngineStats | None) -> EngineStats:
+    """Live stats net of ``base`` (a reused engine keeps counting
+    across runs; the budget guard must see only *this* run's spend)."""
+    live = (engine.stats() if engine is not None
+            else telemetry.snapshot())
+    if base is None:
+        return live
+    return replace(
+        live,
+        prompt_tokens=live.prompt_tokens - base.prompt_tokens,
+        completion_tokens=(live.completion_tokens
+                           - base.completion_tokens),
+        cost_nanos=live.cost_nanos - base.cost_nanos)
+
+
 def _resolve_tracer(tracer: "Tracer | NullTracer | None",
                     trace: bool) -> "Tracer | NullTracer":
     """Explicit tracer wins; else a fresh one (or the no-op)."""
@@ -236,6 +258,9 @@ def execute_run(request: RunRequest,
     if tracer.enabled and tracer.sink is None:
         sink = JsonlSpanSink(registry.spans_path(run_id))
         tracer.sink = sink
+    guard = BudgetGuard(max_cost_usd=request.max_cost_usd,
+                        max_tokens=request.max_tokens)
+    budget_stop: BudgetStop | None = None
     results: dict[CellKey, PoolResult] = {}
     evaluated = 0
     heartbeat = HeartbeatWriter(registry.heartbeat_path(run_id))
@@ -249,10 +274,17 @@ def execute_run(request: RunRequest,
                                       tracer=tracer,
                                       telemetry=telemetry)
             started = time.perf_counter()
+            base = engine.stats() if engine is not None else None
             with tracer.span("run", run_id=run_id,
                              dataset=request.dataset,
                              workers=request.workers):
                 for cell in cells:
+                    if guard.enabled:
+                        budget_stop = guard.stop_reason(
+                            _spent_since(engine, telemetry, base),
+                            completed_cells=len(results))
+                        if budget_stop is not None:
+                            break
                     pool = _pool_for(cell, pools)
                     results[cell] = runner.evaluate(
                         resolve(cell.model), pool,
@@ -263,19 +295,32 @@ def execute_run(request: RunRequest,
                     time.perf_counter() - started, 1)
             stats = (engine.stats() if engine is not None
                      else telemetry.snapshot())
-            ledger.run_finished(len(cells), stats.to_dict())
-        append_entry(entry_from_result(
-            run_id, request.dataset,
-            {key.cell_id: result.metrics
-             for key, result in results.items()},
-            stats=stats), registry)
+            if budget_stop is not None:
+                # Not run-finished: the run stays resumable, and the
+                # completed cells' records are already sealed — resume
+                # finishes the rest bit-identically to an unbudgeted
+                # run.
+                ledger.budget_exhausted(budget_stop.to_dict(),
+                                        stats.to_dict())
+            else:
+                ledger.run_finished(len(cells), stats.to_dict())
+        if budget_stop is None:
+            # Partial runs never enter the history: their aggregate
+            # metrics would skew every regression baseline.
+            append_entry(entry_from_result(
+                run_id, request.dataset,
+                {key.cell_id: result.metrics
+                 for key, result in results.items()},
+                stats=stats), registry)
     finally:
         heartbeat.close()
         if sink is not None:
             tracer.sink = None
             sink.close()
     return RunResult(run_id=run_id, request=request, cells=results,
-                     stats=stats, evaluated=evaluated)
+                     stats=stats, evaluated=evaluated,
+                     budget=(None if budget_stop is None
+                             else budget_stop.to_dict()))
 
 
 # ----------------------------------------------------------------------

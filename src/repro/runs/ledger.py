@@ -110,6 +110,19 @@ class RunLedger:
                       "stats": stats, "ts": time.time()},
                      sync=self._sync_boundary())
 
+    def budget_exhausted(self, budget: dict,
+                         stats: dict | None = None) -> None:
+        """The run stopped at a cell boundary on a spend ceiling.
+
+        Deliberately *not* ``run-finished``: the run stays unfinished
+        so ``resume_run`` completes the remaining cells (unbudgeted by
+        default) to bytes identical to an uninterrupted run.  Old
+        readers skip the event (forward-compatible unknown kind).
+        """
+        self._append({"event": "budget-exhausted", "budget": budget,
+                      "stats": stats, "ts": time.time()},
+                     sync=self._sync_boundary())
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self._lock:
@@ -168,6 +181,8 @@ class RunState:
     finished: bool = False
     stats: dict | None = None
     events: int = 0
+    #: Last budget-exhausted event's payload (None = never stopped).
+    budget: dict | None = None
 
     @property
     def completed_cells(self) -> int:
@@ -232,4 +247,11 @@ def _apply(state: RunState, event: dict) -> None:
     elif kind == "run-finished":
         state.finished = True
         state.stats = event.get("stats")
+        state.budget = None        # a completed run clears the stop
+    elif kind == "budget-exhausted":
+        budget = event.get("budget")
+        state.budget = budget if isinstance(budget, dict) else {}
+        if state.stats is None:
+            stats = event.get("stats")
+            state.stats = stats if isinstance(stats, dict) else None
     # unknown events: forward-compatible skip

@@ -77,6 +77,13 @@ class RunSummary:
     status: str = "crashed"
     #: Shard fan-out (0 = unsharded single-process run).
     shards: int = 0
+    #: Accumulated spend from the run's persisted stats snapshot
+    #: (0 for ledgers predating cost metering or still-running runs).
+    cost_nanos: int = 0
+
+    @property
+    def cost_usd(self) -> float:
+        return self.cost_nanos / 1e9
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -91,6 +98,7 @@ class RunSummary:
             "cells": f"{self.cells_done}/{self.cells_total}",
             "questions": self.questions,
             "shards": self.shards if self.shards else "-",
+            "cost_usd": f"{self.cost_usd:.4f}",
             "status": self.status,
         }
 
@@ -110,6 +118,8 @@ class RunSummary:
             "finished": self.finished,
             "status": self.status,
             "shards": self.shards,
+            "cost_nanos": self.cost_nanos,
+            "cost_usd": self.cost_usd,
             "created_at": self.created_at,
         }
 
@@ -354,6 +364,12 @@ class RunRegistry:
         manifest = self.manifest(run_id)
         request = RunRequest.from_dict(manifest["request"])
         state = self.state(run_id)
+        # A budget stop is a deliberate pause, not a crash: the
+        # heartbeat is gone but the ledger says why.
+        if state.budget and not state.finished:
+            status = "budget-stopped"
+        else:
+            status = self.status(run_id, finished=state.finished)
         return RunSummary(
             run_id=run_id,
             dataset=request.dataset,
@@ -367,6 +383,7 @@ class RunRegistry:
             questions=state.recorded_questions,
             finished=state.finished,
             created_at=float(manifest.get("created_at", 0.0)),
-            status=self.status(run_id, finished=state.finished),
+            status=status,
             shards=self.shard_count(run_id),
+            cost_nanos=int((state.stats or {}).get("cost_nanos", 0)),
         )

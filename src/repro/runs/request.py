@@ -52,6 +52,12 @@ class RunRequest:
     retries: int = 3
     batch_size: int = 1
     coalesce: bool = False
+    #: Spend ceilings enforced at cell boundaries (None = unlimited).
+    #: Like the engine shape they cannot change a completed cell's
+    #: results — only where the run stops — but they are part of the
+    #: fingerprint so the manifest reproduces the invocation.
+    max_cost_usd: float | None = None
+    max_tokens: int | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in {kind.value for kind in DatasetKind}:
@@ -66,6 +72,10 @@ class RunRequest:
             raise RunError("workers must be at least 1")
         if self.batch_size < 1:
             raise RunError("batch_size must be at least 1")
+        if self.max_cost_usd is not None and self.max_cost_usd <= 0:
+            raise RunError("max_cost_usd must be positive when set")
+        if self.max_tokens is not None and self.max_tokens <= 0:
+            raise RunError("max_tokens must be positive when set")
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +99,8 @@ class RunRequest:
             f"retries={self.retries}",
             f"batch={self.batch_size}",
             f"coalesce={int(self.coalesce)}",
+            f"max_cost={self.max_cost_usd}",
+            f"max_tokens={self.max_tokens}",
         ))
         return hashlib.sha256(material.encode()).hexdigest()[:24]
 
@@ -107,6 +119,8 @@ class RunRequest:
             "retries": self.retries,
             "batch_size": self.batch_size,
             "coalesce": self.coalesce,
+            "max_cost_usd": self.max_cost_usd,
+            "max_tokens": self.max_tokens,
         }
 
     @classmethod
@@ -125,6 +139,8 @@ class RunRequest:
                 retries=payload.get("retries", 3),
                 batch_size=payload.get("batch_size", 1),
                 coalesce=payload.get("coalesce", False),
+                max_cost_usd=payload.get("max_cost_usd"),
+                max_tokens=payload.get("max_tokens"),
             )
         except (KeyError, TypeError) as exc:
             raise RunError(

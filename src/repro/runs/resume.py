@@ -53,7 +53,11 @@ def resume_run(run_id: str,
     """Complete ``run_id``, reusing every record already on disk.
 
     Resuming an already finished run degenerates to a pure ledger
-    load (zero model calls), so the call is idempotent.  The resumed
+    load (zero model calls), so the call is idempotent.  A run halted
+    by a spend ceiling (``budget-exhausted`` in the ledger) resumes
+    through the exact same paths — and deliberately *without*
+    re-applying the ceiling, so the completed result is bit-identical
+    to an unbudgeted run.  The resumed
     attempt's spans append to the run's existing ``spans.jsonl`` (its
     ``run`` span carries ``resumed``/``attempt`` attributes), exactly
     as its ledger events append to the existing ledger.

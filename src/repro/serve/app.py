@@ -26,7 +26,8 @@ message}}``):
 ``GET  /runs/<id>``                   ``runs show <id> --json``
 ``GET  /runs/<id>/result``            ``repro run --json`` final summary
 ``GET  /runs/<id>/progress``          one live follower snapshot
-``GET  /runs/<id>/events``            SSE stream of follower snapshots
+``GET  /runs/<id>/alerts``            one-shot alert rule assessment
+``GET  /runs/<id>/events``            SSE snapshots + alert frames
 ``GET  /runs/<id>/diff/<other>``      ``runs diff --json``
 ``POST /runs/<id>/resume``            finish an interrupted run -> 202
 ``GET  /jobs`` / ``GET /jobs/<id>``   background job tracking
@@ -261,6 +262,10 @@ class _Handler(BaseHTTPRequestHandler):
             return self._require(
                 method, "GET",
                 lambda: (200, app.progress_payload(registry, run_id)))
+        if len(rest) == 2 and rest[1] == "alerts":
+            return self._require(
+                method, "GET",
+                lambda: (200, app.alerts_payload(registry, run_id)))
         if len(rest) == 2 and rest[1] == "resume":
             if method != "POST":
                 return self._require(method, "POST", None)
@@ -410,7 +415,8 @@ class ReproServer:
                 "GET /runs/<id>": "runs show --json",
                 "GET /runs/<id>/result": "repro run --json summary",
                 "GET /runs/<id>/progress": "one follower snapshot",
-                "GET /runs/<id>/events": "SSE follower stream",
+                "GET /runs/<id>/alerts": "one-shot alert assessment",
+                "GET /runs/<id>/events": "SSE snapshots + alerts",
                 "GET /runs/<id>/diff/<other>": "runs diff --json",
                 "POST /runs/<id>/resume": "resume a run (202 + job)",
                 "GET /jobs": "background jobs",
@@ -551,3 +557,21 @@ class ReproServer:
         from repro.obs.live import LedgerFollower
         return LedgerFollower(run_id, registry=registry).poll() \
             .to_dict()
+
+    def alerts_payload(self, registry, run_id: str) -> dict:
+        """Every rule assessed against one fresh snapshot.
+
+        One-shot by design: ``for_s`` debounce needs a history of
+        observations, which only the SSE broadcast (one evaluator per
+        run) has — so this endpoint reports instantaneous breaches,
+        and the stream reports debounced firing/resolved transitions.
+        """
+        from repro.obs.alerts import AlertEvaluator
+        from repro.obs.live import LedgerFollower
+        progress = LedgerFollower(run_id, registry=registry).poll()
+        return {
+            "run_id": run_id,
+            "status": progress.status,
+            "cost_usd": progress.cost_usd,
+            "rules": AlertEvaluator().assess(progress),
+        }

@@ -31,6 +31,7 @@ import time
 from collections import OrderedDict
 
 from repro.errors import ReproError
+from repro.obs.alerts import AlertEvaluator
 from repro.obs.live import LedgerFollower
 from repro.runs.registry import RunRegistry
 
@@ -46,6 +47,7 @@ FINAL_CACHE_SLOTS = 32
 _DONE = "done"
 _SNAPSHOT = "snapshot"
 _ERROR = "error"
+_ALERT = "alert"
 
 
 class Subscription:
@@ -116,6 +118,9 @@ class _Broadcast:
         self.interval_s = interval_s
         self.idle_grace_s = idle_grace_s
         self.follower = LedgerFollower(run_id, registry=registry)
+        #: One evaluator per broadcast: every subscriber sees the
+        #: same firing/resolved transitions, exactly once each.
+        self.alerts = AlertEvaluator()
         self._subscribers: list[Subscription] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -189,6 +194,9 @@ class _Broadcast:
                 payload["ts"] = time.time()
                 self.polls += 1
                 self._publish(_SNAPSHOT, payload)
+                for event in self.alerts.observe(snapshot):
+                    self._publish(_ALERT, {"run_id": self.run_id,
+                                           **event.to_dict()})
                 if snapshot.finished:
                     final = payload
                     break

@@ -60,6 +60,7 @@ def run_show_payload(registry: RunRegistry,
         "finished": state.finished,
         "attempts": state.attempts,
         "stats": state.stats,
+        "budget": state.budget,
         "cells": run_cell_rows(state),
         "shards": [status.to_dict() for status in shard_rows],
     }
@@ -90,4 +91,5 @@ def run_result_payload(result: RunResult) -> dict[str, object]:
         "resumed_cells": list(result.resumed_cells),
         "stats": (result.stats.to_dict()
                   if result.stats is not None else None),
+        "budget": result.budget,
     }

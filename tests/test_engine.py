@@ -18,6 +18,7 @@ from repro.engine.telemetry import EngineStats, Telemetry
 from repro.errors import (ModelError, ModelTimeoutError,
                           ModelTransientError)
 from repro.llm.base import BaseChatModel
+from repro.obs.cost import CostMeter
 from repro.llm.registry import get_model
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
@@ -431,9 +432,12 @@ class TestConfig:
             EngineConfig(max_workers=2, timeout=30.0, rate=1000.0,
                          retry=FAST_RETRY))
         wrapped = engine.wrap(EchoModel())
-        # Documented order: cache(retry(rate(timeout(count(model))))).
+        # Documented order:
+        # cache(retry(cost(rate(timeout(count(model)))))).
         assert isinstance(wrapped, CachedModel)
         assert isinstance(wrapped.inner, RetryingModel)
-        assert isinstance(wrapped.inner.inner, RateLimitedModel)
-        assert isinstance(wrapped.inner.inner.inner, TimeoutModel)
+        assert isinstance(wrapped.inner.inner, CostMeter)
+        assert isinstance(wrapped.inner.inner.inner, RateLimitedModel)
+        assert isinstance(wrapped.inner.inner.inner.inner,
+                          TimeoutModel)
         assert wrapped.generate("hi") == "echo:2"

@@ -22,6 +22,7 @@ from repro.errors import ModelError, ModelTransientError
 from repro.llm.base import (BaseChatModel, StaticResponder,
                             call_generate_batch,
                             supports_generate_batch)
+from repro.obs.cost import CostMeter
 from repro.obs.export import format_prometheus
 from repro.obs.history import HistoryEntry
 
@@ -468,11 +469,12 @@ class TestStackComposition:
         wrapped = engine.wrap(BatchEcho())
         try:
             # Documented order:
-            # coalesce(cache(retry(batch(count(model))))).
+            # coalesce(cache(retry(cost(batch(count(model)))))).
             assert isinstance(wrapped, CoalescingModel)
             assert isinstance(wrapped.inner, CachedModel)
             assert isinstance(wrapped.inner.inner, RetryingModel)
-            batcher = wrapped.inner.inner.inner
+            assert isinstance(wrapped.inner.inner.inner, CostMeter)
+            batcher = wrapped.inner.inner.inner.inner
             assert isinstance(batcher, BatchingModel)
             assert isinstance(batcher.limiter, AdaptiveLimiter)
             assert wrapped.generate("hi") == "ans:hi"
