@@ -1,0 +1,204 @@
+"""Bench TRAIL — provenance capture overhead + bit-identity gates.
+
+Three gates guard the trail layer:
+
+1. **Overhead**: the same request runs against a sleep-backed model
+   with ``trail=False`` and ``trail=True`` through the full engine
+   stack (workers, retry, cache, coalescing).  Trail capture is one
+   thread-local context per question plus a handful of attribute
+   writes, so the trailed run must stay within 5% (plus a small
+   absolute floor for OS jitter) of the bare one.
+2. **Record bit-identity**: trail-on records must equal trail-off
+   records field for field once the ``trail`` key is dropped — the
+   trail is annotation, never influence.  Checked both at the
+   dataclass level (``QuestionRecord.__eq__`` excludes the trail) and
+   on the serialized JSON bytes.
+3. **Sharded-merge trail identity**: a 3-shard trailed run's merged
+   trails must be byte-identical to the same request executed in one
+   process — the trail's scheduling-independent fields are a pure
+   function of the request, so shard layout cannot show.
+
+Run standalone for a sub-second smoke (used by ``scripts/check.sh``)::
+
+    PYTHONPATH=src python benchmarks/bench_trail_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+from conftest import once
+
+from repro.core.report import format_rows
+from repro.core.results import record_to_dict
+from repro.dist import execute_run_sharded
+from repro.llm.base import BaseChatModel
+from repro.llm.registry import get_model
+from repro.runs import RunRegistry, RunRequest, execute_run
+
+#: Maximum allowed slowdown of trailed runs vs. bare runs.
+OVERHEAD_BUDGET = 0.05
+#: Absolute slack (seconds) so short smokes tolerate OS jitter.
+ABSOLUTE_SLACK_S = 0.015
+#: Simulated backend latency — small enough that per-question trail
+#: overhead would show, large enough to dominate interpreter noise.
+LATENCY_S = 0.001
+
+SCOPE = dict(models=("GPT-4",), taxonomy_keys=("ebay",), workers=4,
+             coalesce=True)
+
+
+class _SleepingModel(BaseChatModel):
+    """GPT-4 answers behind a fixed GIL-releasing sleep."""
+
+    def __init__(self, latency_s: float):
+        super().__init__("GPT-4")
+        self.latency_s = latency_s
+        self._inner = get_model("GPT-4")
+
+    def _respond(self, prompt: str) -> str:
+        time.sleep(self.latency_s)
+        return self._inner.generate(prompt)
+
+
+def _resolve(_: str) -> _SleepingModel:
+    return _SleepingModel(LATENCY_S)
+
+
+def _time_run(trail: bool, sample_size: int) -> float:
+    with tempfile.TemporaryDirectory() as root:
+        request = RunRequest(**SCOPE, sample_size=sample_size,
+                             trail=trail)
+        started = time.perf_counter()
+        execute_run(request, registry=RunRegistry(root),
+                    resolve_model=_resolve)
+        return time.perf_counter() - started
+
+
+def _measure_overhead(sample_size: int = 24,
+                      repeats: int = 3) -> dict[str, object]:
+    bare_s = min(_time_run(False, sample_size)
+                 for _ in range(repeats))
+    trailed_s = min(_time_run(True, sample_size)
+                    for _ in range(repeats))
+    return {
+        "sample": sample_size,
+        "bare_s": bare_s,
+        "trailed_s": trailed_s,
+        "overhead": trailed_s / bare_s - 1.0,
+    }
+
+
+def _within_budget(result: dict[str, object]) -> bool:
+    excess = float(result["trailed_s"]) - float(result["bare_s"])
+    return (excess
+            <= float(result["bare_s"]) * OVERHEAD_BUDGET
+            + ABSOLUTE_SLACK_S)
+
+
+def _strip_trail(record) -> str:
+    payload = record_to_dict(record)
+    payload.pop("trail", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def _check_record_identity(sample_size: int = 8) -> dict[str, object]:
+    """Trail-on records == trail-off records, minus the trail key."""
+    with tempfile.TemporaryDirectory() as root:
+        registry = RunRegistry(root)
+        bare = execute_run(RunRequest(**SCOPE,
+                                      sample_size=sample_size),
+                           registry=registry)
+        trailed = execute_run(RunRequest(**SCOPE,
+                                         sample_size=sample_size,
+                                         trail=True),
+                              registry=registry)
+        assert bare.cells.keys() == trailed.cells.keys()
+        questions = 0
+        trails = 0
+        for key, bare_cell in bare.cells.items():
+            trailed_cell = trailed.cells[key]
+            assert bare_cell.records == trailed_cell.records, (
+                f"cell {key.cell_id}: trail capture changed the "
+                f"records themselves")
+            for a, b in zip(bare_cell.records, trailed_cell.records):
+                assert _strip_trail(a) == _strip_trail(b), (
+                    f"cell {key.cell_id}: serialized records diverge "
+                    f"beyond the trail key")
+                assert a.trail is None and b.trail is not None
+                questions += 1
+                trails += 1
+        assert questions > 0, "identity gate compared zero records"
+        return {"questions": questions, "with_trail": trails}
+
+
+def _trail_bytes(registry: RunRegistry, run_id: str) -> list[str]:
+    state = registry.state(run_id)
+    lines = []
+    for cell_id in sorted(state.cells):
+        cell = state.cells[cell_id]
+        for index in sorted(cell.records):
+            payload = record_to_dict(cell.records[index])
+            lines.append(json.dumps(
+                {"cell": cell_id, "index": index,
+                 "trail": payload.get("trail")}, sort_keys=True))
+    return lines
+
+
+def _check_shard_identity(sample_size: int = 8,
+                          shards: int = 3) -> dict[str, object]:
+    """Merged shard trails byte-identical to a single-process run."""
+    request = RunRequest(**SCOPE, sample_size=sample_size, trail=True)
+    with tempfile.TemporaryDirectory() as root_a, \
+            tempfile.TemporaryDirectory() as root_b:
+        single = RunRegistry(root_a)
+        sharded = RunRegistry(root_b)
+        one = execute_run(request, registry=single)
+        many = execute_run_sharded(request, shards, registry=sharded)
+        lines_a = _trail_bytes(single, one.run_id)
+        lines_b = _trail_bytes(sharded, many.run_id)
+        assert lines_a and lines_a == lines_b, (
+            f"sharded merge changed the trails: "
+            f"{len(lines_a)} single-process vs "
+            f"{len(lines_b)} sharded lines")
+        return {"shards": shards, "trail_lines": len(lines_a)}
+
+
+def _rows(overhead: dict[str, object], identity: dict[str, object],
+          sharded: dict[str, object]) -> list[dict[str, object]]:
+    return [{
+        "sample": overhead["sample"],
+        "bare_s": f"{overhead['bare_s']:.4f}",
+        "trailed_s": f"{overhead['trailed_s']:.4f}",
+        "overhead": f"{overhead['overhead'] * 100:+.2f}%",
+        "budget": f"{OVERHEAD_BUDGET * 100:.0f}%",
+        "records_identical": identity["questions"],
+        "shard_trail_lines": sharded["trail_lines"],
+    }]
+
+
+def test_trail_overhead_and_identity(benchmark, report):
+    overhead = once(benchmark, _measure_overhead)
+    assert _within_budget(overhead), (
+        f"trail capture overhead {overhead['overhead'] * 100:.2f}% "
+        f"exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget "
+        f"(bare {overhead['bare_s']:.4f}s, "
+        f"trailed {overhead['trailed_s']:.4f}s)")
+    identity = _check_record_identity()
+    sharded = _check_shard_identity()
+    report(format_rows(_rows(overhead, identity, sharded),
+                       title="Trail capture overhead (1 ms simulated "
+                             "latency) + bit-identity"))
+
+
+if __name__ == "__main__":  # pragma: no cover - smoke entry point
+    outcome = _measure_overhead(sample_size=12, repeats=3)
+    identity = _check_record_identity(sample_size=6)
+    sharded = _check_shard_identity(sample_size=6)
+    print(format_rows(_rows(outcome, identity, sharded),
+                      title="Trail capture overhead + bit-identity "
+                            "smoke"))
+    if not _within_budget(outcome):
+        raise SystemExit("trail capture overhead exceeds budget")

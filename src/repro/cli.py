@@ -33,6 +33,12 @@
     python -m repro run --max-cost-usd 0.05 --models GPT-4 \\
         --taxonomies ebay --sample 60
     python -m repro obs cost <run-id> --json
+    python -m repro run --trail --workers 8 --models GPT-4 \\
+        --taxonomies ebay --sample 60
+    python -m repro obs why <run-id> 17
+    python -m repro obs grep <run-id> \\
+        --where "attempts>1 and cache_hit==false"
+    python -m repro obs trails <run-id> --json
 
 Every command prints the same rows the corresponding paper artifact
 reports; ``--sample`` trades fidelity for speed (omit for Cochran
@@ -72,18 +78,20 @@ from repro.llm.prompting import PromptSetting
 from repro.llm.registry import get_model
 from repro.obs import (AlertEvaluator, CostLedger, LedgerFollower,
                        Thresholds, check_entries, chrome_trace,
-                       configure_logging, flame_report,
-                       format_prometheus, latest_for, load_entry,
-                       phase_table, read_history, read_spans_jsonl,
-                       registry_from_spans, render_dashboard,
-                       watch_run, write_entry)
+                       compile_predicate, configure_logging,
+                       flame_report, format_prometheus, latest_for,
+                       load_entry, phase_table, read_history,
+                       read_spans_jsonl, registry_from_spans,
+                       render_dashboard, trail_env, watch_run,
+                       write_entry)
 from repro.questions.model import DatasetKind
 from repro.questions.pools import build_pools
 from repro.runs import (RunRegistry, RunRequest, diff_runs,
                         execute_run, load_run, resume_run)
-from repro.serve.views import (run_cell_rows, run_diff_payload,
-                               run_result_payload, run_show_payload,
-                               runs_list_payload)
+from repro.serve.views import (iter_question_records, run_cell_rows,
+                               run_diff_payload, run_result_payload,
+                               run_show_payload, run_trail_payload,
+                               run_trails_payload, runs_list_payload)
 from repro.dist import (DEFAULT_MIN_AGE_S, execute_run_sharded,
                         gc_runs, merge_run, render_shard_dashboard,
                         resume_run_sharded, shard_statuses,
@@ -412,6 +420,11 @@ def _parser() -> argparse.ArgumentParser:
                            metavar="PCT",
                            help="tolerated run-cost increase, "
                                 "percent of baseline")
+    obs_check.add_argument("--max-cache-hit-drop", type=float,
+                           default=defaults.cache_hit_drop_pts,
+                           metavar="PTS",
+                           help="tolerated cache-hit-rate drop in "
+                                "points")
     obs_check.add_argument("--write-baseline", default=None,
                            metavar="PATH",
                            help="write the candidate entry to PATH "
@@ -430,6 +443,38 @@ def _parser() -> argparse.ArgumentParser:
                           help="labeled text-exposition series "
                                "instead of the table")
     _add_runs_dir(obs_cost)
+
+    obs_why = obs_commands.add_parser(
+        "why", help="explain one question's provenance trail — "
+                    "retries, cache, coalescing, batch, replica, "
+                    "cost — with span citations")
+    obs_why.add_argument("run_id")
+    obs_why.add_argument("index", type=int,
+                         help="global question index (cells in plan "
+                              "order; `obs grep` prints it)")
+    obs_why.add_argument("--json", action="store_true",
+                         help="the GET /runs/<id>/trail/<index> "
+                              "payload instead of prose")
+    _add_runs_dir(obs_why)
+
+    obs_grep = obs_commands.add_parser(
+        "grep", help="filter a run's questions by a predicate over "
+                     "their trails and outcomes")
+    obs_grep.add_argument("run_id")
+    obs_grep.add_argument("--where", required=True, metavar="EXPR",
+                          help="predicate over trail fields, e.g. "
+                               "\"attempts>1 and cache_hit==false\"")
+    obs_grep.add_argument("--json", action="store_true",
+                          help="matching rows as JSON objects")
+    _add_runs_dir(obs_grep)
+
+    obs_trails = obs_commands.add_parser(
+        "trails", help="per-cell provenance analytics folded from a "
+                       "run's trails")
+    obs_trails.add_argument("run_id")
+    obs_trails.add_argument("--json", action="store_true",
+                            help="the GET /runs/<id>/trails payload")
+    _add_runs_dir(obs_trails)
     return parser
 
 
@@ -478,6 +523,10 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
                          help="identical in-flight prompts share one "
                               "backend call (the cache only helps "
                               "completed calls)")
+    command.add_argument("--trail", action="store_true",
+                         help="record a per-question provenance "
+                              "trail on every record (inspect with "
+                              "`repro obs why` / `repro obs grep`)")
 
 
 def _build_engine(args: argparse.Namespace) -> EvaluationEngine:
@@ -491,7 +540,8 @@ def _build_engine(args: argparse.Namespace) -> EvaluationEngine:
         retry=RetryPolicy(retries=max(0, args.retries)),
         batch_size=max(1, getattr(args, "batch_size", 1)),
         batch_linger_s=max(0.0, getattr(args, "batch_linger", 0.002)),
-        coalesce=bool(getattr(args, "coalesce", False)))
+        coalesce=bool(getattr(args, "coalesce", False)),
+        trail=bool(getattr(args, "trail", False)))
     return EvaluationEngine(config, cache=cache)
 
 
@@ -721,6 +771,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         retries=max(0, args.retries),
         batch_size=max(1, args.batch_size),
         coalesce=args.coalesce,
+        trail=bool(getattr(args, "trail", False)),
         max_cost_usd=args.max_cost_usd,
         max_tokens=args.max_tokens,
     )
@@ -1041,7 +1092,8 @@ def _cmd_obs_check(args: argparse.Namespace) -> "str | tuple[str, int]":
         accuracy_drop_pts=args.max_accuracy_drop,
         throughput_drop_pct=args.max_throughput_drop,
         p99_blowup_pct=args.max_p99_blowup,
-        cost_blowup_pct=args.max_cost_blowup))
+        cost_blowup_pct=args.max_cost_blowup,
+        cache_hit_drop_pts=args.max_cache_hit_drop))
     code = 0 if report.passed else 1
     if args.json:
         return json.dumps(report.to_dict(), indent=1), code
@@ -1069,6 +1121,181 @@ def _cmd_obs_cost(args: argparse.Namespace) -> str:
                        title=f"Cost accounting: run {args.run_id}")
 
 
+def _cmd_obs_why(args: argparse.Namespace) -> str:
+    # Same builder the HTTP API serves (GET /runs/<id>/trail/<i>).
+    payload = run_trail_payload(_registry(args), args.run_id,
+                                args.index)
+    if args.json:
+        return json.dumps(payload, indent=1)
+    outcome = ("correct" if payload["correct"]
+               else "missed" if payload["missed"] else "wrong")
+    lines = [
+        f"question {payload['index']} of run {payload['run_id']}",
+        f"  {payload['uid']} — index {payload['cell_index']} of cell "
+        f"{payload['cell']}",
+        f"  {payload['model']} under {payload['setting']} answered "
+        f"{payload['parsed']!r} (expected {payload['expected']!r}): "
+        f"{outcome}",
+    ]
+    trail = payload["trail"]
+    if trail is None:
+        lines.append("  no provenance trail recorded — execute the "
+                     "run with --trail to capture one")
+        return "\n".join(lines)
+    lines.extend("  " + line for line in _why_trail_lines(trail))
+    try:
+        spans = _load_run_spans(args)
+    except RunError:
+        spans = []
+    cited = [span for span in spans
+             if span.attrs.get("question") == payload["uid"]
+             and span.attrs.get("cell") == payload["cell"]]
+    if cited:
+        lines.append("  spans:")
+        for span in cited:
+            detail = "".join(
+                f" {key}={span.attrs[key]}"
+                for key in ("model", "attempt", "error")
+                if key in span.attrs)
+            lines.append(f"    {span.name}#{span.span_id} "
+                         f"{span.duration_s * 1e3:.2f}ms{detail}")
+    return "\n".join(lines)
+
+
+def _why_trail_lines(trail: dict) -> list[str]:
+    """The causal narrative of one trail dict (defaults omitted by
+    the codec, hence the ``.get`` defaults)."""
+    lines = []
+    coalesced = trail.get("coalesced")
+    if coalesced == "follower":
+        lines.append(f"coalesced: followed the in-flight leader for "
+                     f"prompt {trail.get('leader_key')} — no backend "
+                     f"call of its own")
+    elif coalesced == "leader":
+        lines.append(f"coalesced: led prompt "
+                     f"{trail.get('leader_key')} for every "
+                     f"concurrent duplicate")
+    cache_hit = trail.get("cache_hit")
+    if cache_hit is True:
+        lines.append(f"cache: hit ({trail.get('cache_source')} "
+                     f"entry) — answered without a backend call")
+    elif cache_hit is False:
+        lines.append("cache: miss — went to the backend")
+    attempts = trail.get("attempts", 1)
+    errors = trail.get("errors", [])
+    if attempts > 1 or errors:
+        faults = ", ".join(errors) if errors else "no recorded fault"
+        injected = (" (injected)" if trail.get("injected") else "")
+        lines.append(f"retry: {attempts} attempt(s); faults: "
+                     f"{faults}{injected}")
+    if trail.get("rate_wait_s", 0.0) > 0:
+        lines.append(f"rate limit: waited "
+                     f"{trail['rate_wait_s'] * 1e3:.2f}ms for a token")
+    if trail.get("timeout_lost_s", 0.0) > 0:
+        lines.append(f"timeout: {trail['timeout_lost_s'] * 1e3:.2f}ms "
+                     f"lost to deadline overruns")
+    if trail.get("batch") is not None:
+        lines.append(f"batch: rode batch #{trail['batch']} of "
+                     f"{trail.get('batch_size')} prompt(s), flushed "
+                     f"on {trail.get('batch_cut')}")
+    replica = trail.get("replica")
+    fallbacks = trail.get("fallbacks", [])
+    if replica is not None or fallbacks:
+        hops = (f" after replica(s) "
+                f"{', '.join(str(i) for i in fallbacks)} failed"
+                if fallbacks else "")
+        hedge = ""
+        if trail.get("hedged"):
+            hedge = (", the hedge won" if trail.get("hedge_won")
+                     else ", the primary beat the hedge")
+        lines.append(f"pool: answered by replica {replica}{hops}"
+                     f"{hedge}")
+    if trail.get("cost_nanos", 0) > 0:
+        lines.append(f"cost: {trail.get('billed_prompt_tokens', 0)} "
+                     f"prompt + "
+                     f"{trail.get('billed_completion_tokens', 0)} "
+                     f"completion tokens billed, "
+                     f"${trail['cost_nanos'] / 1e9:.6f}")
+    return lines
+
+
+def _cmd_obs_grep(args: argparse.Namespace) -> str:
+    registry = _registry(args)
+    state = registry.state(args.run_id)
+    predicate = compile_predicate(args.where)
+    total = 0
+    matches = []
+    for ordinal, cell_id, _, record in iter_question_records(state):
+        total += 1
+        env = trail_env(record, index=ordinal, cell=cell_id)
+        if predicate(env):
+            matches.append(env)
+    if args.json:
+        return json.dumps(matches, indent=1, default=list)
+    if not matches:
+        return (f"0 of {total} questions in run {args.run_id} match "
+                f"{args.where!r}")
+    rows = []
+    for env in matches:
+        rows.append({
+            "idx": env["index"],
+            "cell": env["cell"],
+            "uid": env["uid"],
+            "ok": "y" if env["correct"] else "n",
+            "attempts": env["attempts"],
+            "cache": {True: "hit", False: "miss",
+                      None: "-"}[env["cache_hit"]],
+            "errors": ",".join(env["errors"]) or "-",
+            "replica": ("-" if env["replica"] is None
+                        else env["replica"]),
+        })
+    table = format_rows(
+        rows, title=f"{len(matches)} of {total} questions match "
+                    f"{args.where!r}")
+    return (table + f"\nexplain one with `repro obs why "
+                    f"{args.run_id} <idx>`")
+
+
+def _cmd_obs_trails(args: argparse.Namespace) -> str:
+    # Same builder the HTTP API serves (GET /runs/<id>/trails).
+    payload = run_trails_payload(_registry(args), args.run_id)
+    if args.json:
+        return json.dumps(payload, indent=1)
+    if not payload["cells"]:
+        return (f"run {args.run_id} has no recorded questions yet — "
+                f"nothing to summarize")
+    rows = [_trails_row(cell_id, summary)
+            for cell_id, summary in payload["cells"].items()]
+    totals = payload["totals"]
+    cache = totals["cache"]
+    retry = totals["retry"]
+    footer = (f"\ntotals: {totals['questions']} questions "
+              f"({totals['with_trail']} with trails), cache "
+              f"{cache['hits']} hit / {cache['misses']} miss, "
+              f"{retry['retried']} retried "
+              f"({retry['injected_faults']} injected faults), "
+              f"{totals['coalesce']['followers']} coalesced, "
+              f"{totals['hedge']['fired']} hedges fired, "
+              f"${totals['cost']['cost_nanos'] / 1e9:.4f} billed")
+    return format_rows(
+        rows, title=f"Provenance trails: run {args.run_id}") + footer
+
+
+def _trails_row(cell_id: str, summary: dict) -> dict[str, object]:
+    hit_rate = summary["cache"]["hit_rate"]
+    return {
+        "cell": cell_id,
+        "questions": summary["questions"],
+        "trails": summary["with_trail"],
+        "hit_rate": ("-" if hit_rate is None else f"{hit_rate:.3f}"),
+        "retried": summary["retry"]["retried"],
+        "faults": summary["retry"]["injected_faults"],
+        "coalesced": summary["coalesce"]["followers"],
+        "hedged": summary["hedge"]["fired"],
+        "cost_usd": f"{summary['cost']['cost_nanos'] / 1e9:.4f}",
+    }
+
+
 _OBS_COMMANDS = {
     "trace": _cmd_obs_trace,
     "metrics": _cmd_obs_metrics,
@@ -1076,6 +1303,9 @@ _OBS_COMMANDS = {
     "history": _cmd_obs_history,
     "check": _cmd_obs_check,
     "cost": _cmd_obs_cost,
+    "why": _cmd_obs_why,
+    "grep": _cmd_obs_grep,
+    "trails": _cmd_obs_trails,
 }
 
 

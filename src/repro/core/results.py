@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.metrics import Metrics, summarize
+from repro.obs.trail import Trail, trail_from_dict, trail_to_dict
 from repro.questions.model import Answer
 
 
@@ -37,6 +38,11 @@ class QuestionRecord:
     expected: Answer
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    #: Provenance trail (``--trail`` runs only).  Excluded from
+    #: equality: the scored payload is what determinism gates compare,
+    #: and placement fields (batch id, replica) legitimately vary with
+    #: scheduling.
+    trail: Trail | None = field(default=None, compare=False)
 
     @property
     def missed(self) -> bool:
@@ -75,7 +81,7 @@ def metrics_from_records(records: list[QuestionRecord]) -> Metrics:
 # ----------------------------------------------------------------------
 def record_to_dict(record: QuestionRecord) -> dict[str, object]:
     """A JSON-compatible dict; inverse of :func:`record_from_dict`."""
-    return {
+    payload: dict[str, object] = {
         "uid": record.question_uid,
         "model": record.model,
         "setting": record.setting,
@@ -85,13 +91,17 @@ def record_to_dict(record: QuestionRecord) -> dict[str, object]:
         "prompt_tokens": record.prompt_tokens,
         "completion_tokens": record.completion_tokens,
     }
+    if record.trail is not None:
+        payload["trail"] = trail_to_dict(record.trail)
+    return payload
 
 
 def record_from_dict(payload: dict) -> QuestionRecord:
     """Rebuild a record; decoded records score identically to live ones.
 
     The token fields default to 0 so ledgers written before token
-    accounting existed still decode (and replay bit-identically).
+    accounting existed still decode (and replay bit-identically);
+    likewise pre-trail ledgers decode with ``trail=None``.
     """
     return QuestionRecord(
         question_uid=payload["uid"],
@@ -102,6 +112,8 @@ def record_from_dict(payload: dict) -> QuestionRecord:
         expected=Answer(payload["expected"]),
         prompt_tokens=int(payload.get("prompt_tokens", 0)),
         completion_tokens=int(payload.get("completion_tokens", 0)),
+        trail=(trail_from_dict(payload["trail"])
+               if "trail" in payload else None),
     )
 
 

@@ -40,6 +40,8 @@ from repro.llm.parsing import parse_answer
 from repro.llm.prompting import PromptSetting, build_prompt
 from repro.obs.cost import call_cost_nanos, count_tokens
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import (call_site_scope, current_trail,
+                             trail_scope)
 from repro.questions.model import Question
 from repro.questions.pools import QuestionPool
 
@@ -56,7 +58,8 @@ class EvaluationRunner:
                  engine: "EvaluationEngine | None" = None,
                  ledger: "RunLedger | None" = None,
                  tracer: "Tracer | NullTracer | None" = None,
-                 telemetry: "Telemetry | None" = None):
+                 telemetry: "Telemetry | None" = None,
+                 trail: bool = False):
         #: Template paraphrase variant (0 is the paper's main results).
         self.variant = variant
         #: Whether PoolResults carry per-question records.
@@ -77,6 +80,10 @@ class EvaluationRunner:
         #: engine records its own telemetry; this fills the gap when
         #: ``engine is None`` so ledgered runs always persist stats).
         self.telemetry = telemetry
+        #: Capture provenance trails on the *sequential* path (under
+        #: an engine the scope is opened per item by the scheduler
+        #: when ``EngineConfig.trail`` is set).
+        self.trail = trail
 
     def ask(self, model: ChatModel, question: Question,
             setting: PromptSetting = PromptSetting.ZERO_SHOT,
@@ -90,6 +97,21 @@ class EvaluationRunner:
         # Token counts resolve by model *name* (stable through every
         # middleware wrapper), so the stamped record is bit-identical
         # whether the call ran sequentially, engined, or on a shard.
+        prompt_tokens = count_tokens(prompt, model.name)
+        completion_tokens = count_tokens(response, model.name)
+        context = current_trail()
+        trail = None
+        if context is not None:
+            if self.engine is None and context.cost_nanos == 0:
+                # No CostMeter ran on the sequential path; bill the
+                # one call here.  (Under an engine a zero cost is
+                # legitimate — a cache hit or coalesced follower —
+                # so only the engineless path fills it in.)
+                context.note_cost(
+                    prompt_tokens, completion_tokens,
+                    call_cost_nanos(model.name, prompt_tokens,
+                                    completion_tokens))
+            trail = context.freeze()
         return QuestionRecord(
             question_uid=question.uid,
             model=model.name,
@@ -97,8 +119,9 @@ class EvaluationRunner:
             response=response,
             parsed=parsed,
             expected=question.expected_answer,
-            prompt_tokens=count_tokens(prompt, model.name),
-            completion_tokens=count_tokens(response, model.name),
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            trail=trail,
         )
 
     # ------------------------------------------------------------------
@@ -126,9 +149,18 @@ class EvaluationRunner:
                 with self.tracer.span(
                         "question", parent=parent,
                         kind=question.kind.value,
-                        level=question.level, uid=question.uid):
-                    record = self.ask(model, question, setting,
-                                      pool_questions=pool_questions)
+                        level=question.level, uid=question.uid), \
+                        call_site_scope(question=question.uid,
+                                        cell=cell):
+                    if self.trail:
+                        with trail_scope():
+                            record = self.ask(
+                                model, question, setting,
+                                pool_questions=pool_questions)
+                    else:
+                        record = self.ask(
+                            model, question, setting,
+                            pool_questions=pool_questions)
                 if self.telemetry is not None:
                     self.telemetry.record_call()
                     self.telemetry.record_tokens(
@@ -153,10 +185,13 @@ class EvaluationRunner:
                        question: Question) -> QuestionRecord:
             # Runs on a worker thread whose span stack is empty, so
             # the cell span must be named as the parent explicitly.
+            # call_site_scope makes the model_call spans issued deep
+            # in the middleware stack joinable back to this question.
             with self.tracer.span(
                     "question", parent=parent,
                     kind=question.kind.value,
-                    level=question.level, uid=question.uid):
+                    level=question.level, uid=question.uid), \
+                    call_site_scope(question=question.uid, cell=cell):
                 return self.ask(wrapped, question, setting,
                                 pool_questions=pool_questions)
 

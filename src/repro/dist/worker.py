@@ -145,12 +145,16 @@ def _shard_engine(request, cache: ResponseCache | None
     if (request.workers <= 1 and cache is None
             and request.batch_size <= 1 and not request.coalesce):
         return None
+    # cache=True regardless of a warm seed: the driver's engine has an
+    # in-memory cache layer by default, and a shard's middleware stack
+    # must mirror it so the same request leaves the same provenance
+    # trail sharded or inline.
     config = EngineConfig(
         max_workers=max(1, request.workers),
         retry=RetryPolicy(retries=max(0, request.retries)),
-        cache=cache is not None,
         batch_size=request.batch_size,
-        coalesce=request.coalesce)
+        coalesce=request.coalesce,
+        trail=request.trail)
     return EvaluationEngine(config, cache=cache)
 
 
@@ -217,7 +221,8 @@ def run_shard(run_id: str, shard: int,
                                       keep_records=False,
                                       engine=engine, ledger=ledger,
                                       tracer=tracer,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry,
+                                      trail=request.trail)
             started = time.perf_counter()
             with tracer.span("shard", run_id=run_id, shard=shard,
                              tasks=len(tasks),

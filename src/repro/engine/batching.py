@@ -54,6 +54,7 @@ from repro.llm.base import (ChatModel, async_batch_fn,
                             call_generate_batch,
                             supports_generate_batch)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import TrailContext, current_trail, prompt_key
 
 _log = logging.getLogger("repro.engine.batching")
 
@@ -169,6 +170,12 @@ class CoalescingModel:
                 leader = True
             else:
                 leader = False
+        trail = current_trail()
+        if trail is not None:
+            trail.coalesced = "leader" if leader else "follower"
+            # Same key for leader and all followers of one prompt —
+            # the join handle for "who actually made my call".
+            trail.leader_key = prompt_key(prompt)
         if not leader:
             if self._telemetry is not None:
                 self._telemetry.record_coalesced()
@@ -195,6 +202,11 @@ class _Pending:
 
     prompt: str
     future: "asyncio.Future | None" = None
+    #: The parked worker thread's trail, handed across explicitly so
+    #: the loop-thread dispatcher can stamp batch placement onto it
+    #: (the worker is blocked on ``future`` while we write, so the
+    #: hand-off is race-free).
+    trail: TrailContext | None = None
 
 
 class BatchingModel:
@@ -235,6 +247,7 @@ class BatchingModel:
         self._agenerate_batch = async_batch_fn(inner)
         self._pending: list[_Pending] = []      # loop-thread only
         self._flush_handle = None               # loop-thread only
+        self._batch_seq = 0                     # loop-thread only
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._start_lock = threading.Lock()
@@ -303,22 +316,25 @@ class BatchingModel:
     # ------------------------------------------------------------------
     def generate(self, prompt: str) -> str:
         loop = self._ensure_loop()
+        # The ambient trail is thread-local to this worker thread, so
+        # it must cross into the loop thread by hand.
         future = asyncio.run_coroutine_threadsafe(
-            self._park(prompt), loop)
+            self._park(prompt, current_trail()), loop)
         return future.result()
 
-    async def _park(self, prompt: str) -> str:
-        item = _Pending(prompt=prompt)
+    async def _park(self, prompt: str,
+                    trail: TrailContext | None = None) -> str:
+        item = _Pending(prompt=prompt, trail=trail)
         item.future = asyncio.get_running_loop().create_future()
         self._pending.append(item)
         if len(self._pending) >= self.batch_size:
-            self._flush()
+            self._flush(cut="size")
         elif self._flush_handle is None:
             self._flush_handle = asyncio.get_running_loop().call_later(
                 self.linger_s, self._flush)
         return await item.future
 
-    def _flush(self) -> None:
+    def _flush(self, cut: str = "linger") -> None:
         """Cut one batch off the pending queue and dispatch it."""
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -331,9 +347,17 @@ class BatchingModel:
             # Leftovers start a fresh linger window immediately.
             self._flush_handle = asyncio.get_running_loop().call_later(
                 self.linger_s, self._flush)
-        asyncio.ensure_future(self._dispatch(batch))
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        for item in batch:
+            if item.trail is not None:
+                item.trail.batch = batch_id
+                item.trail.batch_size = len(batch)
+                item.trail.batch_cut = cut
+        asyncio.ensure_future(self._dispatch(batch, batch_id))
 
-    async def _dispatch(self, batch: list[_Pending]) -> None:
+    async def _dispatch(self, batch: list[_Pending],
+                        batch_id: int = 0) -> None:
         """Serve one batch, settling each member's future.
 
         A backend with a real batch entry point (``agenerate_batch``
@@ -352,7 +376,7 @@ class BatchingModel:
         transient = False
         try:
             with self._tracer.span("batch", model=self.name,
-                                   size=len(prompts)):
+                                   size=len(prompts), seq=batch_id):
                 if self._agenerate_batch is not None:
                     outcomes, transient = await self._shared(
                         self._agenerate_batch(prompts), prompts)

@@ -28,6 +28,7 @@ from repro.errors import ModelError
 from repro.llm.base import ChatModel
 from repro.obs.metrics import global_registry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import current_trail
 
 _FORMAT_VERSION = 1
 
@@ -47,6 +48,10 @@ class ResponseCache:
             raise ValueError("capacity must be positive or None")
         self.capacity = capacity
         self._entries: OrderedDict[tuple[str, str], str] = OrderedDict()
+        #: Keys whose response came from a persisted snapshot rather
+        #: than a live backend call this process made — provenance
+        #: trails report these hits as ``cache_source="persisted"``.
+        self._persisted: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -79,14 +84,32 @@ class ResponseCache:
         with self._lock:
             self._entries[key] = response
             self._entries.move_to_end(key)
+            self._persisted.discard(key)
             while (self.capacity is not None
                    and len(self._entries) > self.capacity):
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._persisted.discard(evicted)
                 self.evictions += 1
+
+    def source(self, model_name: str, prompt: str) -> str | None:
+        """Where a cached response came from, without touching LRU
+        order or counters: ``"persisted"`` (disk snapshot),
+        ``"memory"`` (live call this process), or ``None``."""
+        key = (model_name, prompt)
+        with self._lock:
+            if key not in self._entries:
+                return None
+            return "persisted" if key in self._persisted else "memory"
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._persisted.clear()
+
+    def persisted_keys(self) -> set[tuple[str, str]]:
+        """Snapshot of keys loaded from a persisted snapshot."""
+        with self._lock:
+            return set(self._persisted)
 
     def entries(self) -> list[tuple[str, str, str]]:
         """A ``(model, prompt, response)`` snapshot, LRU order."""
@@ -106,16 +129,20 @@ class ResponseCache:
         entries actually added.
         """
         added = 0
+        persisted = other.persisted_keys()
         for model, prompt, response in other.entries():
             key = (model, prompt)
             with self._lock:
                 if key in self._entries:
                     continue
                 self._entries[key] = response
+                if key in persisted:
+                    self._persisted.add(key)
                 added += 1
                 while (self.capacity is not None
                        and len(self._entries) > self.capacity):
-                    self._entries.popitem(last=False)
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._persisted.discard(evicted)
                     self.evictions += 1
         return added
 
@@ -151,6 +178,9 @@ class ResponseCache:
             except (KeyError, TypeError) as exc:
                 raise ModelError(
                     f"malformed response-cache entry: {raw!r}") from exc
+        # Everything decoded here predates this process's live calls.
+        with cache._lock:
+            cache._persisted = set(cache._entries)
         return cache
 
     def save(self, path: str | Path) -> None:
@@ -246,6 +276,12 @@ class CachedModel:
             span.set(hit=response is not None)
         if self._telemetry is not None:
             self._telemetry.record_cache(hit=response is not None)
+        trail = current_trail()
+        if trail is not None:
+            trail.cache_hit = response is not None
+            if response is not None:
+                trail.cache_source = self.cache.source(self.name,
+                                                       prompt)
         if response is None:
             response = self.inner.generate(prompt)
             self.cache.put(self.name, prompt, response)

@@ -68,6 +68,10 @@ class EngineConfig:
         adaptive: AIMD concurrency control over batch dispatch —
             additive increase per successful batch, multiplicative
             backoff on transient faults and timeouts.
+        trail: Capture a per-question provenance trail
+            (:mod:`repro.obs.trail`) annotated by every middleware
+            layer and stamped onto each record.  Off by default so
+            trail-off runs stay byte-identical to earlier releases.
     """
 
     max_workers: int = 1
@@ -82,6 +86,7 @@ class EngineConfig:
     batch_linger_s: float = 0.002
     coalesce: bool = False
     adaptive: bool = False
+    trail: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:

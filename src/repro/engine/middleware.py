@@ -33,6 +33,7 @@ from repro.errors import (ModelError, ModelTimeoutError,
 from repro.llm.base import ChatModel
 from repro.llm.rng import unit_float
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import current_trail
 
 Clock = Callable[[], float]
 Sleeper = Callable[[float], None]
@@ -98,6 +99,7 @@ class RetryingModel:
             return None, exc
 
     def generate(self, prompt: str) -> str:
+        trail = current_trail()
         last: ModelTransientError | None = None
         for attempt in range(self.policy.retries + 1):
             if attempt == 0:
@@ -109,8 +111,16 @@ class RetryingModel:
                     response, fault = self._attempt_once(
                         prompt, attempt, last)
             if fault is None:
+                if trail is not None:
+                    trail.attempts = attempt + 1
                 return response  # type: ignore[return-value]
+            if trail is not None:
+                trail.note_error(type(fault).__name__,
+                                 injected=getattr(fault, "injected",
+                                                  False))
             last = fault
+        if trail is not None:
+            trail.attempts = self.policy.retries + 1
         raise ModelError(
             f"{self.name}: gave up after {self.policy.retries + 1} "
             f"attempts ({last})") from last
@@ -146,6 +156,9 @@ class TimeoutModel:
         response = self.inner.generate(prompt)
         elapsed = self._clock() - started
         if elapsed > self.timeout:
+            trail = current_trail()
+            if trail is not None:
+                trail.timeout_lost_s += elapsed
             raise ModelTimeoutError(elapsed, self.timeout)
         return response
 
@@ -214,7 +227,11 @@ class RateLimitedModel:
         self.bucket = bucket
 
     def generate(self, prompt: str) -> str:
-        self.bucket.acquire()
+        waited = self.bucket.acquire()
+        if waited:
+            trail = current_trail()
+            if trail is not None:
+                trail.rate_wait_s += waited
         return self.inner.generate(prompt)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -265,10 +282,14 @@ class FaultInjectingModel:
             _log.info("fault-injected model=%s streak=%d "
                       "prompt_hash=%#06x", self.name, streak + 1,
                       hash(prompt) & 0xffff)
-            raise ModelTransientError(
+            exc = ModelTransientError(
                 f"{self.name}: injected transient fault "
                 f"#{streak + 1} for prompt hash "
                 f"{hash(prompt) & 0xffff:#06x}")
+            # Marks the fault as synthetic so the provenance trail can
+            # distinguish injected chaos from genuine backend faults.
+            exc.injected = True
+            raise exc
         return self.inner.generate(prompt)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

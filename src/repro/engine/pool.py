@@ -44,6 +44,7 @@ from repro.engine.telemetry import Telemetry
 from repro.errors import ModelError
 from repro.llm.base import ChatModel, call_generate_batch
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import current_trail
 
 _log = logging.getLogger("repro.engine.pool")
 
@@ -168,17 +169,24 @@ class BackendPool:
             f"({last})") from last
 
     def _fallback(self, order: list[int], prompt: str) -> str:
+        trail = current_trail()
         last: ModelError | None = None
         for position, index in enumerate(order):
             try:
-                return self._call(index, prompt)
+                response = self._call(index, prompt)
             except ModelError as exc:
                 last = exc
+                if trail is not None:
+                    trail.fallbacks.append(index)
                 if position + 1 < len(order):
                     _log.info("backend-fallback pool=%s from=%d "
                               "to=%d fault=%s", self.name, index,
                               order[position + 1],
                               type(exc).__name__)
+                continue
+            if trail is not None:
+                trail.replica = index
+            return response
         raise ModelError(
             f"{self.name}: every backend failed ({last})") from last
 
@@ -190,16 +198,18 @@ class BackendPool:
         the winner's identity never shows in the output.
         """
         executor = self._ensure_executor()
+        trail = current_trail()
         pending: dict[Future, int] = {}
+        hedges: set[Future] = set()
         next_up = iter(order)
         errors: list[ModelError] = []
 
-        def launch() -> bool:
+        def launch() -> "Future | None":
             for index in next_up:
-                pending[executor.submit(self._call, index, prompt)] \
-                    = index
-                return True
-            return False
+                future = executor.submit(self._call, index, prompt)
+                pending[future] = index
+                return future
+            return None
 
         launch()
         timeout: float | None = self.hedge_delay_s
@@ -207,7 +217,11 @@ class BackendPool:
             done, _ = wait(pending, timeout=timeout,
                            return_when=FIRST_COMPLETED)
             if not done:                    # hedge deadline passed
-                if launch():
+                hedge = launch()
+                if hedge is not None:
+                    hedges.add(hedge)
+                    if trail is not None:
+                        trail.hedged = True
                     if self._telemetry is not None:
                         self._telemetry.record_hedge()
                     with self._tracer.span(
@@ -217,12 +231,19 @@ class BackendPool:
                 timeout = None   # at most one hedge per request
                 continue
             for future in done:
-                pending.pop(future)
+                index = pending.pop(future)
                 try:
-                    return future.result()
+                    response = future.result()
                 except ModelError as exc:
                     errors.append(exc)
+                    if trail is not None:
+                        trail.fallbacks.append(index)
                     launch()
+                    continue
+                if trail is not None:
+                    trail.replica = index
+                    trail.hedge_won = future in hedges
+                return response
             timeout = None
         last = errors[-1] if errors else None
         raise ModelError(

@@ -45,6 +45,7 @@ from repro.llm.base import (ChatModel, async_batch_fn,
 from repro.obs.cost import (DEFAULT_TOKEN_COUNTER, CostMeter,
                             price_for)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trail import call_site, trail_scope
 
 R = TypeVar("R")
 
@@ -85,7 +86,10 @@ class _CountingModel:
 
     def generate(self, prompt: str) -> str:
         self._telemetry.record_call()
-        with self._tracer.span("model_call", model=self.name):
+        # call_site() carries the question uid / cell the runner set on
+        # this thread, making the span joinable to its ledger record.
+        with self._tracer.span("model_call", model=self.name,
+                               **call_site()):
             return self.inner.generate(prompt)
 
 
@@ -238,6 +242,12 @@ class EvaluationEngine:
                model: ChatModel, item: Any) -> R:
         started = self._clock()
         try:
+            if self.config.trail:
+                # One provenance collector per item, installed on the
+                # worker thread where the whole middleware stack runs;
+                # the runner freezes it onto the record.
+                with trail_scope():
+                    return fn(model, item)
             return fn(model, item)
         finally:
             self.telemetry.record_work(self._clock() - started)

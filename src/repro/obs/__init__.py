@@ -21,6 +21,12 @@ The observability layer for the whole evaluation stack.  Four pieces:
 * ``alerts`` — declarative SLO rules (:class:`AlertRule`) evaluated
   over live follower snapshots by an :class:`AlertEvaluator` with
   ``for_s`` debounce and firing/resolved transitions.
+* ``trail`` — per-question provenance: a :class:`TrailContext` opened
+  around each prompt that every engine layer annotates (retries,
+  cache, coalescing, batching, replicas, cost), frozen to a
+  :class:`Trail` on the question record, plus the predicate compiler
+  behind ``repro obs grep`` and the :func:`trail_summary` analytics
+  behind ``repro obs trails``.
 
 Quickstart::
 
@@ -63,6 +69,12 @@ from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
 from repro.obs.report import (flame_report, phase_chart, phase_rows,
                               phase_table)
 from repro.obs.tracer import (NULL_TRACER, NullTracer, Span, Tracer)
+from repro.obs.trail import (Trail, TrailContext, TrailQueryError,
+                             call_site, call_site_scope,
+                             compile_predicate, current_trail,
+                             prompt_key, trail_env, trail_from_dict,
+                             trail_scope, trail_summary,
+                             trail_to_dict)
 
 __all__ = [
     "AlertEvaluator",
@@ -97,12 +109,19 @@ __all__ = [
     "Thresholds",
     "TokenCounter",
     "Tracer",
+    "Trail",
+    "TrailContext",
+    "TrailQueryError",
     "append_entry",
     "call_cost_nanos",
+    "call_site",
+    "call_site_scope",
     "check_entries",
     "chrome_trace",
+    "compile_predicate",
     "configure_logging",
     "count_tokens",
+    "current_trail",
     "entry_from_result",
     "escape_label_value",
     "flame_report",
@@ -118,11 +137,17 @@ __all__ = [
     "phase_table",
     "price_for",
     "pricing_table",
+    "prompt_key",
     "read_history",
     "read_spans_jsonl",
     "registry_from_spans",
     "render_dashboard",
     "span_tree",
+    "trail_env",
+    "trail_from_dict",
+    "trail_scope",
+    "trail_summary",
+    "trail_to_dict",
     "usd_to_nanos",
     "watch_run",
     "write_entry",

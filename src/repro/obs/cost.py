@@ -35,6 +35,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.trail import current_trail
+
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.engine.telemetry import EngineStats
 
@@ -270,18 +272,23 @@ class CostMeter:
             inner.name)
 
     def generate(self, prompt: str) -> str:
+        trail = current_trail()
         prompt_tokens = self._count(prompt)
         try:
             response = self.inner.generate(prompt)
         except Exception:
-            self._telemetry.record_tokens(
-                prompt_tokens, 0,
-                self._price.cost_nanos(prompt_tokens, 0))
+            nanos = self._price.cost_nanos(prompt_tokens, 0)
+            self._telemetry.record_tokens(prompt_tokens, 0, nanos)
+            if trail is not None:
+                trail.note_cost(prompt_tokens, 0, nanos)
             raise
         completion_tokens = self._count(response)
-        self._telemetry.record_tokens(
-            prompt_tokens, completion_tokens,
-            self._price.cost_nanos(prompt_tokens, completion_tokens))
+        nanos = self._price.cost_nanos(prompt_tokens,
+                                       completion_tokens)
+        self._telemetry.record_tokens(prompt_tokens,
+                                      completion_tokens, nanos)
+        if trail is not None:
+            trail.note_cost(prompt_tokens, completion_tokens, nanos)
         return response
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

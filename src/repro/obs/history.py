@@ -304,6 +304,10 @@ class Thresholds:
     p99_blowup_pct: float = 200.0
     #: Maximum run-cost increase, percent of the baseline.
     cost_blowup_pct: float = 20.0
+    #: Maximum cache-hit-rate drop, in percentage points.  A silent
+    #: cache regression shows up as cost/latency later; gating the
+    #: rate itself catches it at the source.
+    cache_hit_drop_pts: float = 10.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -424,6 +428,16 @@ def check_entries(baseline: HistoryEntry, candidate: HistoryEntry,
             candidate=candidate.cost_usd, delta=cost_pct,
             limit=thresholds.cost_blowup_pct,
             ok=cost_pct <= thresholds.cost_blowup_pct))
+
+    if baseline.cache_hit_rate > 0:
+        drop_pts = (baseline.cache_hit_rate
+                    - candidate.cache_hit_rate) * 100.0
+        checks.append(CheckResult(
+            metric="cache_hit_drop_pts", scope="overall",
+            baseline=baseline.cache_hit_rate,
+            candidate=candidate.cache_hit_rate, delta=drop_pts,
+            limit=thresholds.cache_hit_drop_pts,
+            ok=drop_pts <= thresholds.cache_hit_drop_pts))
 
     return RegressionReport(
         baseline_id=baseline.run_id, candidate_id=candidate.run_id,

@@ -23,9 +23,32 @@ from repro.obs.tracer import Span
 
 _FULL = "#"
 
+#: Span kinds that are always *inside* some enclosing phase but can be
+#: recorded without a resolvable parent: ``batch`` spans live on the
+#: batching dispatcher's event-loop thread and ``model_call`` spans
+#: run on executor threads under batching, where the question span
+#: sits on a different thread's stack.  They must never count as
+#: roots when attributing wall-clock, or a batched run's phase shares
+#: deflate against a wall several times the real one.
+_DETACHED_KINDS = frozenset({
+    "batch", "coalesced_wait", "hedge", "model_call", "retry",
+    "cache_lookup", "question",
+})
+
 
 def _closed(spans: Sequence[Span]) -> list[Span]:
     return [span for span in spans if span.end_s is not None]
+
+
+def _root_wall(spans: Sequence[Span], by_id: set[int]) -> float:
+    """Wall clock as the extent of the genuine root spans."""
+    roots = [span for span in spans
+             if span.parent_id not in by_id
+             and span.name not in _DETACHED_KINDS]
+    if not roots:   # a bare middleware trace: every span is detached
+        roots = [span for span in spans
+                 if span.parent_id not in by_id]
+    return sum(span.duration_s for span in roots) or 1e-12
 
 
 def phase_rows(spans: Sequence[Span]) -> list[dict[str, object]]:
@@ -48,10 +71,10 @@ def phase_rows(spans: Sequence[Span]) -> list[dict[str, object]]:
         selfs[span.name] = selfs.get(span.name, 0.0) + own
         counts[span.name] = counts.get(span.name, 0) + 1
     # The wall clock is the extent of the root spans (no parent inside
-    # the log), not the sum — parallel children overlap.
+    # the log), not the sum — parallel children overlap, and detached
+    # engine spans (batch, executor-side model_call) are not roots.
     by_id = {span.span_id for span in spans}
-    wall = sum(span.duration_s for span in spans
-               if span.parent_id not in by_id) or 1e-12
+    wall = _root_wall(spans, by_id)
     rows = []
     for name in sorted(selfs, key=selfs.get, reverse=True):
         rows.append({
@@ -117,7 +140,10 @@ def flame_report(spans: Sequence[Span], width: int = 32,
         totals[path] = totals.get(path, 0.0) + span.duration_s
         counts[path] = counts.get(path, 0) + 1
     root_total = sum(duration for path, duration in totals.items()
-                     if len(path) == 1) or 1e-12
+                     if len(path) == 1
+                     and path[0] not in _DETACHED_KINDS) or sum(
+        duration for path, duration in totals.items()
+        if len(path) == 1) or 1e-12
     label_width = max(len("  " * (len(path) - 1) + path[-1])
                       for path in totals) + 2
     lines = [title]

@@ -34,8 +34,12 @@ from dataclasses import dataclass, field
 Clock = Callable[[], float]
 
 #: Span names used by the built-in instrumentation, root to leaf.
+#: ``batch``/``coalesced_wait``/``hedge`` are the engine's grouping
+#: kinds (PR 7): ``batch`` spans are emitted on the batching
+#: dispatcher's event-loop thread and so carry no parent.
 EVALUATION_SPANS = ("run", "cell", "question", "model_call", "retry",
-                    "cache_lookup")
+                    "cache_lookup", "batch", "coalesced_wait",
+                    "hedge")
 BUILD_SPANS = ("build", "taxonomy", "encode", "write", "load")
 
 

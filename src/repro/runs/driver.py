@@ -178,7 +178,8 @@ def _build_engine(request: RunRequest) -> EvaluationEngine | None:
         max_workers=request.workers,
         retry=RetryPolicy(retries=max(0, request.retries)),
         batch_size=request.batch_size,
-        coalesce=request.coalesce)
+        coalesce=request.coalesce,
+        trail=request.trail)
     return EvaluationEngine(config)
 
 
@@ -272,7 +273,8 @@ def execute_run(request: RunRequest,
                                       keep_records=keep_records,
                                       engine=engine, ledger=ledger,
                                       tracer=tracer,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry,
+                                      trail=request.trail)
             started = time.perf_counter()
             base = engine.stats() if engine is not None else None
             with tracer.span("run", run_id=run_id,

@@ -52,6 +52,11 @@ class RunRequest:
     retries: int = 3
     batch_size: int = 1
     coalesce: bool = False
+    #: Capture per-question provenance trails (repro.obs.trail) and
+    #: stamp them onto every ledger record.  Cannot change the scored
+    #: payload, but changes the ledger bytes — so it is part of the
+    #: fingerprint like every other invocation knob.
+    trail: bool = False
     #: Spend ceilings enforced at cell boundaries (None = unlimited).
     #: Like the engine shape they cannot change a completed cell's
     #: results — only where the run stops — but they are part of the
@@ -99,6 +104,7 @@ class RunRequest:
             f"retries={self.retries}",
             f"batch={self.batch_size}",
             f"coalesce={int(self.coalesce)}",
+            f"trail={int(self.trail)}",
             f"max_cost={self.max_cost_usd}",
             f"max_tokens={self.max_tokens}",
         ))
@@ -119,6 +125,7 @@ class RunRequest:
             "retries": self.retries,
             "batch_size": self.batch_size,
             "coalesce": self.coalesce,
+            "trail": self.trail,
             "max_cost_usd": self.max_cost_usd,
             "max_tokens": self.max_tokens,
         }
@@ -139,6 +146,7 @@ class RunRequest:
                 retries=payload.get("retries", 3),
                 batch_size=payload.get("batch_size", 1),
                 coalesce=payload.get("coalesce", False),
+                trail=payload.get("trail", False),
                 max_cost_usd=payload.get("max_cost_usd"),
                 max_tokens=payload.get("max_tokens"),
             )

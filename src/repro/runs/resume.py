@@ -94,7 +94,8 @@ def resume_run(run_id: str,
                                       keep_records=keep_records,
                                       engine=engine, ledger=ledger,
                                       tracer=tracer,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry,
+                                      trail=request.trail)
             started = time.perf_counter()
             with tracer.span("run", run_id=run_id,
                              dataset=request.dataset,

@@ -29,6 +29,8 @@ message}}``):
 ``GET  /runs/<id>/alerts``            one-shot alert rule assessment
 ``GET  /runs/<id>/events``            SSE snapshots + alert frames
 ``GET  /runs/<id>/diff/<other>``      ``runs diff --json``
+``GET  /runs/<id>/trail/<index>``     ``obs why --json`` provenance
+``GET  /runs/<id>/trails``            ``obs trails --json`` analytics
 ``POST /runs/<id>/resume``            finish an interrupted run -> 202
 ``GET  /jobs`` / ``GET /jobs/<id>``   background job tracking
 ====================================  ======================================
@@ -277,6 +279,20 @@ class _Handler(BaseHTTPRequestHandler):
                 method, "GET",
                 lambda: (200, run_diff_payload(registry, run_id,
                                                rest[2])))
+        if len(rest) == 3 and rest[1] == "trail":
+            try:
+                index = int(rest[2])
+            except ValueError:
+                raise _bad_request(f"question index must be an "
+                                   f"integer, got {rest[2]!r}")
+            return self._require(
+                method, "GET",
+                lambda: (200, app.trail_payload(registry, run_id,
+                                                index)))
+        if len(rest) == 2 and rest[1] == "trails":
+            return self._require(
+                method, "GET",
+                lambda: (200, app.trails_payload(registry, run_id)))
         if len(rest) == 2 and rest[1] == "events":
             if method != "GET":
                 return self._require(method, "GET", None)
@@ -418,6 +434,8 @@ class ReproServer:
                 "GET /runs/<id>/alerts": "one-shot alert assessment",
                 "GET /runs/<id>/events": "SSE snapshots + alerts",
                 "GET /runs/<id>/diff/<other>": "runs diff --json",
+                "GET /runs/<id>/trail/<index>": "obs why --json",
+                "GET /runs/<id>/trails": "obs trails --json",
                 "POST /runs/<id>/resume": "resume a run (202 + job)",
                 "GET /jobs": "background jobs",
                 "GET /jobs/<id>": "one background job",
@@ -552,6 +570,15 @@ class ReproServer:
         from repro.runs.driver import load_run
         return run_result_payload(load_run(run_id,
                                            registry=registry))
+
+    def trail_payload(self, registry, run_id: str,
+                      index: int) -> dict:
+        from repro.serve.views import run_trail_payload
+        return run_trail_payload(registry, run_id, index)
+
+    def trails_payload(self, registry, run_id: str) -> dict:
+        from repro.serve.views import run_trails_payload
+        return run_trails_payload(registry, run_id)
 
     def progress_payload(self, registry, run_id: str) -> dict:
         from repro.obs.live import LedgerFollower

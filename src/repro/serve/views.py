@@ -12,7 +12,11 @@ form of a finished :class:`repro.runs.RunResult` (the ``repro run
 
 from __future__ import annotations
 
-from repro.core.results import metrics_to_dict
+from collections.abc import Iterator
+
+from repro.core.results import QuestionRecord, metrics_to_dict
+from repro.errors import RunError
+from repro.obs.trail import trail_summary, trail_to_dict
 from repro.runs.diff import diff_runs
 from repro.runs.driver import RunResult, load_run
 from repro.runs.ledger import RunState
@@ -71,6 +75,70 @@ def run_diff_payload(registry: RunRegistry, run_a: str,
     """The ``runs diff <a> <b> --json`` document."""
     return diff_runs(load_run(run_a, registry=registry),
                      load_run(run_b, registry=registry)).to_dict()
+
+
+def iter_question_records(state: RunState) -> Iterator[
+        tuple[int, str, int, QuestionRecord]]:
+    """Every recorded question as ``(global index, cell id, index in
+    cell, record)``.
+
+    The global ordinal is deterministic — cells in ledger (= plan)
+    order, question indices ascending — and is the index ``obs why``,
+    ``obs grep`` and ``GET /runs/<id>/trail/<index>`` all share.
+    """
+    ordinal = 0
+    for cell_id, cell in state.cells.items():
+        for local in sorted(cell.records):
+            yield ordinal, cell_id, local, cell.records[local]
+            ordinal += 1
+
+
+def run_trail_payload(registry: RunRegistry, run_id: str,
+                      index: int) -> dict[str, object]:
+    """One question's provenance (``obs why --json`` and
+    ``GET /runs/<id>/trail/<index>``)."""
+    state = registry.state(run_id)
+    total = sum(len(cell.records) for cell in state.cells.values())
+    for ordinal, cell_id, local, record in iter_question_records(state):
+        if ordinal != index:
+            continue
+        return {
+            "run_id": run_id,
+            "index": ordinal,
+            "cell": cell_id,
+            "cell_index": local,
+            "uid": record.question_uid,
+            "model": record.model,
+            "setting": record.setting,
+            "parsed": record.parsed.value,
+            "expected": record.expected.value,
+            "correct": record.correct,
+            "missed": record.missed,
+            "prompt_tokens": record.prompt_tokens,
+            "completion_tokens": record.completion_tokens,
+            "trail": (trail_to_dict(record.trail)
+                      if record.trail is not None else None),
+        }
+    raise RunError(f"run {run_id} has {total} recorded questions; "
+                   f"no question index {index}")
+
+
+def run_trails_payload(registry: RunRegistry,
+                       run_id: str) -> dict[str, object]:
+    """Per-cell trail analytics (``obs trails --json`` and
+    ``GET /runs/<id>/trails``)."""
+    state = registry.state(run_id)
+    everything: list[QuestionRecord] = []
+    cells: dict[str, object] = {}
+    for cell_id, cell in state.cells.items():
+        records = [cell.records[i] for i in sorted(cell.records)]
+        everything.extend(records)
+        cells[cell_id] = trail_summary(records)
+    return {
+        "run_id": run_id,
+        "cells": cells,
+        "totals": trail_summary(everything),
+    }
 
 
 def run_result_payload(result: RunResult) -> dict[str, object]:

@@ -170,6 +170,30 @@ class TestRestMatchesCli:
         assert cli["evaluated"] == 32 and cli["replayed"] == 0
         assert rest["replayed"] == 32 and rest["evaluated"] == 0
 
+    def test_trail_endpoints_match_obs_cli(self, server, capsys):
+        registry = server.registry_for(DEFAULT_TENANT)
+        result = execute_run(RunRequest(**SMALL, trail=True),
+                             registry=registry)
+        status, one = _get(server, f"/runs/{result.run_id}/trail/0")
+        assert status == 200
+        assert one == _cli_json(capsys, [
+            "obs", "why", result.run_id, "0", "--json",
+            "--runs-dir", str(server.root)])
+        assert one["index"] == 0
+        assert one["trail"] is not None
+        status, many = _get(server, f"/runs/{result.run_id}/trails")
+        assert status == 200
+        assert many == _cli_json(capsys, [
+            "obs", "trails", result.run_id, "--json",
+            "--runs-dir", str(server.root)])
+        assert many["totals"]["with_trail"] > 0
+        # Out-of-range index and non-integer index are 4xx, not 500s.
+        status, error = _get(server,
+                             f"/runs/{result.run_id}/trail/9999")
+        assert status == 400 and "9999" in error["error"]["message"]
+        status, error = _get(server, f"/runs/{result.run_id}/trail/x")
+        assert status == 400
+
     def test_runs_resume_json_summary(self, server, capsys):
         result = _seed_run(server)
         cli = _cli_json(capsys, [
@@ -357,6 +381,60 @@ class TestLiveStreaming:
         assert snapshot["run_id"] == result.run_id
         assert snapshot["finished"] is True
         assert snapshot["questions_done"] == result.evaluated
+
+
+# ----------------------------------------------------------------------
+# Flow control: one slow subscriber must never hurt the broadcast
+# ----------------------------------------------------------------------
+class TestFlowControl:
+    def test_bounded_queue_drops_oldest_never_blocks(self,
+                                                     monkeypatch):
+        from repro.serve import hub as hub_module
+        monkeypatch.setattr(hub_module, "SUBSCRIBER_QUEUE_SLOTS", 8)
+        subscription = hub_module.Subscription()
+        # Publish far past capacity without a consumer: must return
+        # promptly every time (a blocking put would hang the test).
+        for seq in range(50):
+            subscription.publish("snapshot", {"seq": seq})
+        subscription.end({"run_id": "r"})
+        assert subscription._queue.qsize() <= 8
+        frames = list(subscription.events(timeout_s=0.2))
+        kinds = [kind for kind, _ in frames]
+        assert kinds[-1] == "done"
+        seqs = [payload["seq"] for kind, payload in frames
+                if kind == "snapshot"]
+        # Oldest frames were dropped; the survivors are the newest,
+        # contiguous, in publish order, ending with the final one.
+        assert 0 < len(seqs) < 50
+        assert seqs == list(range(seqs[0], 50))
+        assert seqs[-1] == 49
+
+    def test_slow_subscriber_keeps_final_fast_peers_unaffected(
+            self, server, monkeypatch):
+        from repro.serve import hub as hub_module
+        monkeypatch.setattr(hub_module, "SUBSCRIBER_QUEUE_SLOTS", 3)
+        registry = server.registry_for(DEFAULT_TENANT)
+        _, accepted = _post(server, "/runs",
+                            body={**SMALL_BODY, "sample_size": 16})
+        run_id = accepted["run_id"]
+        # The slow client subscribes but consumes nothing while the
+        # run streams — its queue saturates at 3 slots.
+        slow = server.hub.subscribe(DEFAULT_TENANT, run_id, registry)
+        # A fast client must still stream to completion: the
+        # broadcaster never blocks on the saturated peer.
+        fast_frames = _read_sse(server, f"/runs/{run_id}/events")
+        assert [kind for kind, _ in fast_frames][-1] == "done"
+        fast_final = json.loads([data for kind, data in fast_frames
+                                 if kind == "snapshot"][-1])
+        assert slow._queue.qsize() <= 4        # 3 slots + "done"
+        slow_frames = list(slow.events(timeout_s=5.0))
+        slow.close()
+        assert [kind for kind, _ in slow_frames][-1] == "done"
+        slow_final = [payload for kind, payload in slow_frames
+                      if kind == "snapshot"][-1]
+        # Drop-oldest preserved the final frame bit for bit.
+        assert slow_final == fast_final
+        assert slow_final["finished"] is True
 
 
 # ----------------------------------------------------------------------
